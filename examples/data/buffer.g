@@ -1,0 +1,10 @@
+# Single-stage handshake buffer: out follows in; synthesizes to a wire.
+.inputs in
+.outputs out
+.graph
+in+ out+
+out+ in-
+in- out-
+out- in+
+.marking { <out-,in+> }
+.end

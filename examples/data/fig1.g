@@ -1,0 +1,12 @@
+# Fig. 1 of the paper: simple controller between an asynchronous memory
+# and a processor.  Req is driven by the processor; the controller
+# acknowledges with Ack.
+.inputs Req
+.outputs Ack
+.graph
+Req+ Ack+
+Ack+ Req-
+Req- Ack- Req+
+Ack- Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end

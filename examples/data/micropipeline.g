@@ -1,0 +1,24 @@
+# Two-stage 4-phase micropipeline controller with the latch releases
+# already expanded at maximum concurrency (see micropipeline_partial.g
+# for the partial specification this derives from).
+.inputs rin aout
+.outputs ain rout lt1 lt2
+.graph
+rin+ lt1+
+lt1+ lt2+
+lt2+ ain+
+ain+ rin-
+rin- ain-
+ain- rin+
+lt2+ rout+
+rout+ aout+
+aout+ rout-
+rout- aout-
+aout- rout+
+rout- lt2+
+lt1+ lt1-
+lt1- lt1+
+lt2+ lt2-
+lt2- lt2+
+.marking { <ain-,rin+> <aout-,rout+> <rout-,lt2+> <lt1-,lt1+> <lt2-,lt2+> }
+.end

@@ -1,0 +1,22 @@
+# Two-stage 4-phase micropipeline controller; the latch releases
+# (lt1-, lt2-) are intentionally UNSPECIFIED, so this file is a partial
+# STG: `astg check` reports it inconsistent until the releases are
+# inserted (Expansion.expand_partial_stg; see examples/micropipeline.ml).
+# The expanded, synthesizable version is micropipeline.g.
+.inputs rin aout
+.outputs ain rout lt1 lt2
+.graph
+rin+ lt1+
+lt1+ lt2+
+lt2+ ain+
+ain+ rin-
+rin- ain-
+ain- rin+
+lt2+ rout+
+rout+ aout+
+aout+ rout-
+rout- aout-
+aout- rout+
+rout- lt2+
+.marking { <ain-,rin+> <aout-,rout+> <rout-,lt2+> }
+.end
