@@ -1,0 +1,317 @@
+(* astg — command-line front end to the synthesis flow.
+
+   Commands:
+     show     parse a .g file and print the STG and its state graph
+     check    implementability report (consistency, SI, CSC)
+     synth    resolve CSC, synthesize logic, report area and critical cycle
+     reduce   run the concurrency-reduction search and print the result
+     expand   compile a CSP-like specification and refine it (2/4-phase) *)
+
+open Cmdliner
+
+let read_stg path =
+  try Ok (Stg.Io.parse_file path) with
+  | Stg.Io.Parse_error msg -> Error (`Msg ("parse error: " ^ msg))
+  | Sys_error msg -> Error (`Msg msg)
+
+let stg_arg =
+  let parse path = read_stg path in
+  let print ppf _ = Format.pp_print_string ppf "<stg>" in
+  Arg.conv (parse, print)
+
+let file_pos =
+  Arg.(
+    required
+    & pos 0 (some stg_arg) None
+    & info [] ~docv:"FILE.g" ~doc:"STG in astg (.g) format.")
+
+let sg_or_fail stg =
+  match Sg.of_stg stg with
+  | Ok sg -> Ok sg
+  | Error e -> Error (Format.asprintf "%a" Sg.pp_error e)
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run stg =
+    Format.printf "%a@." Stg.pp stg;
+    match sg_or_fail stg with
+    | Ok sg ->
+        Format.printf "%a@." Sg.pp_full sg;
+        `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print an STG and its state graph.")
+    Term.(ret (const run $ file_pos))
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run stg =
+    match sg_or_fail stg with
+    | Error msg ->
+        Printf.printf "consistent:          no (%s)\n" msg;
+        `Ok ()
+    | Ok sg ->
+        Printf.printf "consistent:          yes\n";
+        Printf.printf "states:              %d\n" (Sg.n_states sg);
+        Printf.printf "deterministic:       %b\n" (Sg.is_deterministic sg);
+        Printf.printf "commutative:         %b\n" (Sg.is_commutative sg);
+        Printf.printf "output-persistent:   %b\n" (Sg.is_output_persistent sg);
+        Printf.printf "speed-independent:   %b\n" (Sg.is_speed_independent sg);
+        Printf.printf "CSC:                 %b (%d conflicting state pairs)\n"
+          (Sg.has_csc sg)
+          (List.length (Sg.csc_conflicts sg));
+        Printf.printf "USC:                 %b\n" (Sg.usc_conflicts sg = []);
+        let pairs = Sg.concurrent_pairs sg in
+        Printf.printf "concurrent pairs:    %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (a, b) ->
+                  Stg.label_name stg a ^ "||" ^ Stg.label_name stg b)
+                pairs));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check implementability conditions of an STG.")
+    Term.(ret (const run $ file_pos))
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let run stg max_csc verilog =
+    match sg_or_fail stg with
+    | Error msg -> `Error (false, msg)
+    | Ok sg ->
+        let r = Core.implement ~max_csc ~name:"circuit" sg in
+        Format.printf "%a@." Core.pp_report r;
+        if r.Core.equations <> "" then print_endline r.Core.equations;
+        (match r.Core.mapped_area with
+        | Some a -> Printf.printf "mapped area: %d\n" a
+        | None -> ());
+        if verilog then begin
+          match Csc.resolve ~max_signals:max_csc sg with
+          | Ok res ->
+              let impl = Logic.synthesize res.Csc.sg in
+              print_string
+                (Circuit.to_verilog ~module_name:"circuit"
+                   (Circuit.of_impl impl))
+          | Error msg -> Printf.printf "# no netlist: %s\n" msg
+        end;
+        `Ok ()
+  in
+  let max_csc =
+    Arg.(
+      value & opt int 6
+      & info [ "max-csc" ] ~docv:"N"
+          ~doc:"Maximum number of state signals to insert.")
+  in
+  let verilog =
+    Arg.(
+      value & flag
+      & info [ "verilog" ] ~doc:"Also emit the decomposed netlist as Verilog.")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Resolve CSC and synthesize logic, area and critical cycle.")
+    Term.(ret (const run $ file_pos $ max_csc $ verilog))
+
+(* ---- reduce ---- *)
+
+let reduce_cmd =
+  let run stg w frontier keeps print_stg =
+    match sg_or_fail stg with
+    | Error msg -> `Error (false, msg)
+    | Ok sg -> (
+        let keep_conc =
+          try
+            List.map
+              (fun spec ->
+                match String.split_on_char ',' spec with
+                | [ a; b ] -> (Core.lab stg a, Core.lab stg b)
+                | _ -> failwith spec)
+              keeps
+          with
+          | Not_found -> failwith "unknown event in --keep"
+          | Failure spec -> failwith ("bad --keep syntax: " ^ spec)
+        in
+        let outcome = Search.optimize ~w ~size_frontier:frontier ~keep_conc sg in
+        let best = outcome.Search.best in
+        Printf.printf
+          "explored %d configurations over %d levels; best cost %.1f\n"
+          outcome.Search.explored outcome.Search.levels best.Search.cost;
+        Printf.printf "reductions applied: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (a, b) ->
+                  Printf.sprintf "%s after %s" (Stg.label_name stg a)
+                    (Stg.label_name stg b))
+                best.Search.applied));
+        if not print_stg then `Ok ()
+        else
+          let realized =
+            match Reduction.realize ~applied:best.Search.applied best.Search.sg with
+            | Ok stg' -> Ok stg'
+            | Error _ -> Regions.synthesize best.Search.sg
+          in
+          match realized with
+          | Ok stg' ->
+              print_string (Stg.Io.print stg');
+              `Ok ()
+          | Error msg -> `Error (false, "realization failed: " ^ msg))
+  in
+  let w =
+    Arg.(
+      value & opt float 0.8
+      & info [ "w" ] ~docv:"W"
+          ~doc:
+            "Cost trade-off: 1.0 optimizes logic complexity, 0.0 optimizes \
+             CSC conflicts.")
+  in
+  let frontier =
+    Arg.(
+      value & opt int 4
+      & info [ "frontier" ] ~docv:"N" ~doc:"Beam width of the search.")
+  in
+  let keeps =
+    Arg.(
+      value & opt_all string []
+      & info [ "keep" ] ~docv:"EV1,EV2"
+          ~doc:
+            "Protect the concurrency of a pair of events (e.g. \
+             $(b,--keep li-,ri-)).  Repeatable.")
+  in
+  let print_stg =
+    Arg.(
+      value & flag
+      & info [ "stg" ] ~doc:"Also print the realized reduced STG.")
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Optimize an STG by concurrency reduction.")
+    Term.(ret (const run $ file_pos $ w $ frontier $ keeps $ print_stg))
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let run stg sg_mode =
+    if not sg_mode then begin
+      print_string (Stg.Io.to_dot stg);
+      `Ok ()
+    end
+    else
+      match sg_or_fail stg with
+      | Ok sg ->
+          print_string (Sg.to_dot sg);
+          `Ok ()
+      | Error msg -> `Error (false, msg)
+  in
+  let sg_mode =
+    Arg.(
+      value & flag
+      & info [ "sg" ] ~doc:"Render the state graph instead of the STG.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Render an STG (or with --sg its state graph) as Graphviz dot.")
+    Term.(ret (const run $ file_pos $ sg_mode))
+
+(* ---- contract ---- *)
+
+let contract_cmd =
+  let run stg =
+    let stg', removed = Contract.all_dummies stg in
+    List.iter (Printf.eprintf "# contracted %s\n") removed;
+    print_string (Stg.Io.print stg');
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "contract"
+       ~doc:
+         "Contract all removable dummy transitions (verified by weak \
+          bisimulation) and print the resulting STG.")
+    Term.(ret (const run $ file_pos))
+
+(* ---- expand ---- *)
+
+let expand_cmd =
+  let run text phase protocol inputs internals =
+    match Expansion.Parse.proc text with
+    | exception Expansion.Parse.Error msg -> `Error (false, msg)
+    | proc -> (
+        let spec = Expansion.spec ~inputs ~internals proc in
+        let stg =
+          match phase with
+          | 2 -> Expansion.two_phase spec
+          | 4 ->
+              Expansion.four_phase
+                ~constraints:(if protocol then `Protocol else `None)
+                spec
+          | n ->
+              invalid_arg (Printf.sprintf "unsupported phase %d (use 2 or 4)" n)
+        in
+        print_string (Stg.Io.print stg);
+        match Sg.of_stg stg with
+        | Ok sg ->
+            Printf.printf "# states=%d speed-independent=%b csc-conflicts=%d\n"
+              (Sg.n_states sg)
+              (Sg.is_speed_independent sg)
+              (List.length (Sg.csc_conflicts sg));
+            `Ok ()
+        | Error e ->
+            Printf.printf "# SG generation failed: %s\n"
+              (Format.asprintf "%a" Sg.pp_error e);
+            `Ok ())
+  in
+  let text =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:"CSP-like process, e.g. 'loop { l?; r!; r?; l! }'.")
+  in
+  let phase =
+    Arg.(
+      value & opt int 4
+      & info [ "phase" ] ~docv:"N" ~doc:"Refinement: 2 or 4 (default 4).")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "protocol" ] ~docv:"BOOL"
+          ~doc:"Enforce 4-phase channel interleaving (default true).")
+  in
+  let inputs =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"SIG"
+          ~doc:"Declare an explicit signal as an input.  Repeatable.")
+  in
+  let internals =
+    Arg.(
+      value & opt_all string []
+      & info [ "internal" ] ~docv:"SIG"
+          ~doc:"Declare an explicit signal as internal.  Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "expand"
+       ~doc:"Handshake-expand a CSP-like specification into an STG.")
+    Term.(ret (const run $ text $ phase $ protocol $ inputs $ internals))
+
+let () =
+  let info =
+    Cmd.info "astg" ~version:"1.0.0"
+      ~doc:
+        "Synthesis and optimization of partially specified asynchronous \
+         systems (DAC 1999 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+          [
+            show_cmd;
+            check_cmd;
+            synth_cmd;
+            reduce_cmd;
+            expand_cmd;
+            dot_cmd;
+            contract_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/handshake_pipeline.ml: Contract Core Expansion Format Parse Printf Sg Stg String

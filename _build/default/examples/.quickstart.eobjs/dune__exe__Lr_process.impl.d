@@ -1,0 +1,1 @@
+examples/lr_process.ml: Core Expansion Format List Parse Printf Sg Stg

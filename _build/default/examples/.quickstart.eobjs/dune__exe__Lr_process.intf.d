@@ -1,0 +1,1 @@
+examples/lr_process.mli:

@@ -1,0 +1,1 @@
+examples/micropipeline.ml: Circuit Core Csc Expansion Format List Logic Printf Regions Search Sg Stg

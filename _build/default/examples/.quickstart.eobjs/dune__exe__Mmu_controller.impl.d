@@ -1,0 +1,1 @@
+examples/mmu_controller.ml: Core Expansion Format List Parse Printf Sg

@@ -1,0 +1,1 @@
+examples/mmu_controller.mli:

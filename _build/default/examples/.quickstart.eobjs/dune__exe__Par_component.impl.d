@@ -1,0 +1,1 @@
+examples/par_component.ml: Core Expansion Format List Printf Search Sg Stg Timing

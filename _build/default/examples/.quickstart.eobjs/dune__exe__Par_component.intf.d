@@ -1,0 +1,1 @@
+examples/par_component.mli:

@@ -1,0 +1,1 @@
+examples/partial_signals.ml: Core Expansion Format List Printf Sg Stg

@@ -1,0 +1,44 @@
+(* A system of two communicating processes — handshake-circuit style
+   composition (the paper's intro motivates exactly this: CSP/Tangram
+   programs compiled to networks of handshake components).
+
+   Stage 1 receives on port a and forwards over the INTERNAL channel t;
+   stage 2 receives from t and forwards to port b.  Channel t's two wires
+   (treq, tack) are internal signals of the synthesized circuit.
+
+   Run with:  dune exec examples/handshake_pipeline.exe *)
+
+open Expansion
+
+let pipeline =
+  spec (Parse.proc "loop { a?; t!; t?; a! } || loop { t?; b!; b?; t! }")
+
+let () =
+  (* 4-phase expansion: ports a,b become wire pairs (ai/ao, bi/bo); the
+     internal channel becomes treq/tack with its own return-to-zero; the
+     processes' synchronizations on each other's wires are silent
+     (dummy) events. *)
+  let stg = four_phase pipeline in
+  print_string (Stg.Io.print stg);
+  let sg = Core.sg_exn stg in
+  Format.printf "expanded system: %a SI=%b@." Sg.pp sg
+    (Sg.is_speed_independent sg);
+
+  (* Silent synchronizations cannot be implemented as logic (they do not
+     change any code); contract them away — verified by weak
+     bisimulation. *)
+  let stg, removed = Contract.all_dummies stg in
+  Printf.printf "contracted silent events: %s\n" (String.concat ", " removed);
+  let sg = Core.sg_exn stg in
+  Format.printf "after contraction: %a@." Sg.pp sg;
+
+  (* Synthesize the whole system as one circuit. *)
+  let direct = Core.implement ~max_csc:8 ~name:"pipeline (direct)" sg in
+  let optimized =
+    Core.optimize ~max_csc:8 ~name:"pipeline (reduced)" ~w:0.9
+      ~size_frontier:8 sg
+  in
+  print_string
+    (Core.render_table ~title:"two-process handshake pipeline"
+       [ direct; optimized ]);
+  Printf.printf "-- reduced implementation:\n%s\n" optimized.Core.equations

@@ -1,0 +1,51 @@
+(* Design scenario 1 of the paper: the designer writes only the functional
+   (rising) edges of some signals; the tool inserts the return-to-zero
+   events with maximum concurrency and then optimizes them away again by
+   concurrency reduction.
+
+   Run with:  dune exec examples/partial_signals.exe *)
+
+(* A 4-phase request/acknowledge controller with an internal stage signal
+   x: only x's rising edge is functional (it must separate the request from
+   the acknowledgment); where x falls is left to the tool. *)
+let partial_text =
+  {|
+.inputs req
+.outputs ack x
+.graph
+req+ x+
+x+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+|}
+
+let () =
+  let partial = Stg.Io.parse partial_text in
+  Printf.printf "-- partial STG (falling edge of x unspecified):\n%s"
+    (Stg.Io.print partial);
+
+  (* x only has a rising transition: the STG is partially specified.
+     Insert its reset event with maximum concurrency (Fig. 5.a/b). *)
+  let expanded = Expansion.expand_partial_stg partial ~partial:[ "x" ] in
+  Printf.printf "-- expanded STG:\n%s" (Stg.Io.print expanded);
+  let sg = Core.sg_exn expanded in
+  Format.printf "expanded: %a, speed-independent=%b@." Sg.pp sg
+    (Sg.is_speed_independent sg);
+
+  (* The falling edge is now concurrent with almost everything: *)
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "concurrent: %s || %s\n"
+        (Stg.label_name expanded a)
+        (Stg.label_name expanded b))
+    (Sg.concurrent_pairs sg);
+
+  (* Implement directly, then let the optimizer reshuffle the resets. *)
+  let direct = Core.implement ~name:"max-concurrency" sg in
+  let reduced = Core.optimize ~name:"optimized" ~w:0.9 ~size_frontier:8 sg in
+  print_string
+    (Core.render_table ~title:"staged handshake" [ direct; reduced ]);
+  Printf.printf "-- optimized implementation:\n%s\n" reduced.Core.equations

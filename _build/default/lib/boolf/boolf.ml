@@ -1,0 +1,155 @@
+module Cube = struct
+  type t = { care : int; value : int }
+
+  let top = { care = 0; value = 0 }
+
+  let make ~care ~value =
+    if value land lnot care <> 0 then
+      invalid_arg "Boolf.Cube.make: value not within care mask";
+    { care; value }
+
+  let of_minterm ~n m =
+    if n > 62 then invalid_arg "Boolf: more than 62 variables";
+    { care = (1 lsl n) - 1; value = m }
+
+  let of_string s =
+    let n = String.length s in
+    if n > 62 then invalid_arg "Boolf: more than 62 variables";
+    let care = ref 0 and value = ref 0 in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '1' ->
+            care := !care lor (1 lsl i);
+            value := !value lor (1 lsl i)
+        | '0' -> care := !care lor (1 lsl i)
+        | '-' -> ()
+        | c -> invalid_arg (Printf.sprintf "Boolf.Cube.of_string: %c" c))
+      s;
+    { care = !care; value = !value }
+
+  let to_string ~n c =
+    String.init n (fun i ->
+        if c.care land (1 lsl i) = 0 then '-'
+        else if c.value land (1 lsl i) <> 0 then '1'
+        else '0')
+
+  let equal c1 c2 = c1.care = c2.care && c1.value = c2.value
+  let compare = compare
+
+  let popcount x =
+    let rec loop x acc = if x = 0 then acc else loop (x lsr 1) (acc + (x land 1)) in
+    loop x 0
+
+  let literals c = popcount c.care
+
+  let covers c m = m land c.care = c.value
+
+  let contains c1 c2 =
+    c1.care land c2.care = c1.care && c2.value land c1.care = c1.value
+
+  let inter c1 c2 =
+    let common = c1.care land c2.care in
+    if c1.value land common <> c2.value land common then None
+    else Some { care = c1.care lor c2.care; value = c1.value lor c2.value }
+
+  let free c v =
+    let bit = 1 lsl v in
+    { care = c.care land lnot bit; value = c.value land lnot bit }
+
+  let bound c v = c.care land (1 lsl v) <> 0
+  let polarity c v = c.value land (1 lsl v) <> 0
+
+  let render ~names c =
+    let parts = ref [] in
+    for v = Array.length names - 1 downto 0 do
+      if bound c v then
+        parts := (names.(v) ^ if polarity c v then "" else "'") :: !parts
+    done;
+    match !parts with [] -> "1" | parts -> String.concat " " parts
+end
+
+module Cover = struct
+  type t = Cube.t list
+
+  let covers cover m = List.exists (fun c -> Cube.covers c m) cover
+
+  let literals cover =
+    List.fold_left (fun acc c -> acc + Cube.literals c) 0 cover
+
+  let cubes = List.length
+
+  let equal_on ~n c1 c2 =
+    if n > 20 then invalid_arg "Boolf.Cover.equal_on: n too large";
+    let rec loop m =
+      m >= 1 lsl n || (covers c1 m = covers c2 m && loop (m + 1))
+    in
+    loop 0
+
+  let render ~names cover =
+    match cover with
+    | [] -> "0"
+    | cover -> String.concat " + " (List.map (Cube.render ~names) cover)
+end
+
+(* Expand minterm [m] to a prime implicant w.r.t. the OFF-set: greedily drop
+   literals (lowest variable first) while no OFF minterm becomes covered. *)
+let expand_against_off ~n ~off m =
+  let cube = ref (Cube.of_minterm ~n m) in
+  for v = 0 to n - 1 do
+    let candidate = Cube.free !cube v in
+    if not (List.exists (fun o -> Cube.covers candidate o) off) then
+      cube := candidate
+  done;
+  !cube
+
+let minimize ~n ~on ~off =
+  if n > 62 then invalid_arg "Boolf.minimize: more than 62 variables";
+  (match List.find_opt (fun m -> List.mem m off) on with
+  | Some m ->
+      invalid_arg
+        (Printf.sprintf "Boolf.minimize: minterm %d in both ON and OFF" m)
+  | None -> ());
+  let on = List.sort_uniq compare on in
+  let primes = List.map (expand_against_off ~n ~off) on in
+  let primes = List.sort_uniq Cube.compare primes in
+  (* Greedy set cover of ON minterms. *)
+  let uncovered = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace uncovered m ()) on;
+  let gain cube =
+    Hashtbl.fold
+      (fun m () acc -> if Cube.covers cube m then acc + 1 else acc)
+      uncovered 0
+  in
+  let chosen = ref [] in
+  let rec loop candidates =
+    if Hashtbl.length uncovered = 0 then ()
+    else
+      let scored =
+        List.map (fun c -> (gain c, -Cube.literals c, c)) candidates
+      in
+      let best =
+        List.fold_left
+          (fun acc x ->
+            match acc with
+            | None -> Some x
+            | Some (g, l, _) ->
+                let g', l', _ = x in
+                if (g', l') > (g, l) then Some x else acc)
+          None scored
+      in
+      match best with
+      | None | Some (0, _, _) ->
+          (* Cannot happen: every ON minterm has its own prime. *)
+          assert (Hashtbl.length uncovered = 0)
+      | Some (_, _, cube) ->
+          chosen := cube :: !chosen;
+          Hashtbl.iter
+            (fun m () -> if Cube.covers cube m then Hashtbl.remove uncovered m)
+            (Hashtbl.copy uncovered);
+          loop (List.filter (fun c -> not (Cube.equal c cube)) candidates)
+  in
+  loop primes;
+  List.sort Cube.compare !chosen
+
+let estimate_literals ~n ~on ~off = Cover.literals (minimize ~n ~on ~off)

@@ -1,0 +1,81 @@
+(** Two-level boolean function manipulation over a small variable set
+    (up to 62 variables), used for logic estimation and synthesis.
+
+    A {!Cube.t} is a product term over variables [0..n-1]; a {!Cover.t} is a
+    sum of cubes.  Minterms are represented as integers (bit [i] = value of
+    variable [i]). *)
+
+module Cube : sig
+  (** A cube: [care] is the mask of bound variables, [value] their
+      polarities ([value] is always a subset of [care]). *)
+  type t = private { care : int; value : int }
+
+  (** The universal cube (no literal). *)
+  val top : t
+
+  val make : care:int -> value:int -> t
+
+  (** Cube binding exactly the [n] first variables to the bits of the
+      minterm. *)
+  val of_minterm : n:int -> int -> t
+
+  (** Parse ["10-"] style (index 0 leftmost).  @raise Invalid_argument. *)
+  val of_string : string -> t
+
+  (** Inverse of {!of_string} for [n] variables. *)
+  val to_string : n:int -> t -> string
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  (** Number of literals. *)
+  val literals : t -> int
+
+  (** [covers c m] — minterm [m] satisfies cube [c]. *)
+  val covers : t -> int -> bool
+
+  (** [contains c1 c2] — every minterm of [c2] is in [c1]. *)
+  val contains : t -> t -> bool
+
+  (** Intersection, [None] when empty. *)
+  val inter : t -> t -> t option
+
+  (** Drop the literal on variable [v] (no-op when unbound). *)
+  val free : t -> int -> t
+
+  (** [bound c v] — variable [v] appears in the cube. *)
+  val bound : t -> int -> bool
+
+  (** Polarity of variable [v]; meaningful only when [bound c v]. *)
+  val polarity : t -> int -> bool
+
+  (** Human-readable product term using the given variable names,
+      e.g. ["a b' c"]. *)
+  val render : names:string array -> t -> string
+end
+
+module Cover : sig
+  type t = Cube.t list
+
+  val covers : t -> int -> bool
+  val literals : t -> int
+  val cubes : t -> int
+
+  (** [equal_on ~n c1 c2] — same boolean function over [n] variables
+      (exhaustive check; [n] must be small). *)
+  val equal_on : n:int -> t -> t -> bool
+
+  val render : names:string array -> t -> string
+end
+
+(** [minimize ~n ~on ~off] returns a cover that covers every minterm of [on],
+    no minterm of [off], and treats everything else as don't-care.
+    Heuristic two-level minimization: each ON-minterm is expanded to a prime
+    against the OFF-set (greedy literal removal), then a greedy irredundant
+    pass keeps a small subset.  Deterministic.
+    @raise Invalid_argument if [on] and [off] intersect or [n > 62]. *)
+val minimize : n:int -> on:int list -> off:int list -> Cover.t
+
+(** Total literals of [minimize] — the logic-complexity estimate used by the
+    optimizer's cost function. *)
+val estimate_literals : n:int -> on:int list -> off:int list -> int

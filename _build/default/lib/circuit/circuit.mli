@@ -1,0 +1,72 @@
+(** Gate-level circuits: decomposition of synthesized logic into a 2-input
+    gate netlist, Verilog-style rendering, evaluation, and conformance
+    verification of the implementation against its state graph.
+
+    The paper reports "circuit area obtained by decomposing the circuit
+    into 2-input gates and mapping onto a gate library"; this module is
+    that decomposition, and the single concrete realization of the area
+    model documented in {!Logic}. *)
+
+(** A primitive gate instance.  [output] names are either circuit signals
+    (for the final gate of a signal's cone) or fresh internal nets. *)
+type gate = {
+  output : string;
+  kind : kind;
+  inputs : string list;
+}
+
+and kind =
+  | Buf  (** single-input buffer: a wire (zero area) *)
+  | Inv
+  | And2
+  | Or2
+  | Const of bool
+  | Celem
+      (** generalized C-element: inputs [set; reset], state-holding
+          [out' = set || (out && not reset)] *)
+
+type t = {
+  sg : Sg.t;  (** the specification this circuit implements *)
+  signal_names : string array;
+  gates : gate list;  (** topologically ordered: inputs before users *)
+}
+
+(** Decompose every synthesized cover into 2-input gates.
+    @raise Invalid_argument when the implementation still has CSC
+    conflicts. *)
+val of_impl : Logic.impl -> t
+
+(** Total area: must agree with {!Logic.area} on the same implementation
+    (property-tested). *)
+val area : t -> int
+
+(** Number of primitive gates, wires and constants excluded. *)
+val gate_count : t -> int
+
+(** Evaluate the next value of every non-input signal given the current
+    code (bit [i] of [code] = value of signal [i]). *)
+val next_values : t -> code:int -> (int * bool) list
+
+(** Structural Verilog (assign-style, one module). *)
+val to_verilog : ?module_name:string -> t -> string
+
+(** {2 Conformance}
+
+    A circuit conforms to its state graph when, in every reachable state,
+    the set of output/internal signals excited by the logic is exactly the
+    set of output/internal events the specification enables.  An output
+    excited where the specification does not allow it would fire
+    spuriously; an enabled event that is not excited would never fire. *)
+
+type violation = {
+  state : Sg.state;
+  signal : int;
+  excited : bool;  (** what the logic computes *)
+  specified : bool;  (** what the specification enables *)
+}
+
+val pp_violation : Sg.t -> Format.formatter -> violation -> unit
+
+(** Check every reachable state.  The SG must satisfy CSC (otherwise the
+    logic is not well-defined and [of_impl] refuses earlier). *)
+val conforms : t -> (unit, violation list) result

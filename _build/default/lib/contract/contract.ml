@@ -1,0 +1,118 @@
+let kind_names stg k =
+  Array.to_list stg.Stg.signals
+  |> List.filter_map (fun s ->
+         if s.Stg.Signal.kind = k then Some s.Stg.Signal.name else None)
+
+(* Structural contraction: remove transition [t]; replace its preset P and
+   postset Q with product places (p, q). *)
+let contract_structurally stg t =
+  let net = stg.Stg.net in
+  let pre = Array.to_list net.Petri.pre.(t) in
+  let post = Array.to_list net.Petri.post.(t) in
+  if List.exists (fun p -> List.mem p post) pre then
+    Error "self-loop dummy cannot be contracted"
+  else if pre = [] || post = [] then Error "dummy with empty pre or post"
+  else begin
+    let b = Petri.Builder.create () in
+    let dead p = List.mem p pre || List.mem p post in
+    (* Copy surviving places. *)
+    let place_map = Hashtbl.create 16 in
+    for p = 0 to Petri.n_places net - 1 do
+      if not (dead p) then
+        Hashtbl.replace place_map p
+          (Petri.Builder.add_place b ~name:(Petri.place_name net p)
+             ~tokens:net.Petri.initial.(p))
+    done;
+    (* Product places. *)
+    let product = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q ->
+            let name =
+              Printf.sprintf "%s*%s" (Petri.place_name net p)
+                (Petri.place_name net q)
+            in
+            let tokens = net.Petri.initial.(p) + net.Petri.initial.(q) in
+            Hashtbl.replace product (p, q)
+              (Petri.Builder.add_place b ~name ~tokens))
+          post)
+      pre;
+    (* Copy surviving transitions. *)
+    let trans_map = Hashtbl.create 16 in
+    for u = 0 to Petri.n_trans net - 1 do
+      if u <> t then
+        Hashtbl.replace trans_map u
+          (Petri.Builder.add_trans b ~name:(Petri.trans_name net u))
+    done;
+    (* Arcs: a producer of p (or q) now produces every product place built
+       from it; a consumer likewise. *)
+    let products_of_place p =
+      if List.mem p pre then
+        List.map (fun q -> Hashtbl.find product (p, q)) post
+      else if List.mem p post then
+        List.map (fun p' -> Hashtbl.find product (p', p)) pre
+      else [ Hashtbl.find place_map p ]
+    in
+    for u = 0 to Petri.n_trans net - 1 do
+      if u <> t then begin
+        let u' = Hashtbl.find trans_map u in
+        Array.iter
+          (fun p ->
+            List.iter
+              (fun p' -> Petri.Builder.arc_pt b p' u')
+              (products_of_place p))
+          net.Petri.pre.(u);
+        Array.iter
+          (fun p ->
+            List.iter
+              (fun p' -> Petri.Builder.arc_tp b u' p')
+              (products_of_place p))
+          net.Petri.post.(u)
+      end
+    done;
+    Ok
+      (Stg.of_net
+         ~inputs:(kind_names stg Stg.Signal.Input)
+         ~outputs:(kind_names stg Stg.Signal.Output)
+         ~internals:(kind_names stg Stg.Signal.Internal)
+         (Petri.Builder.build b))
+  end
+
+let dummy stg t =
+  match Stg.label stg t with
+  | Stg.Edge _ ->
+      Error
+        (Printf.sprintf "%s is a signal edge, not a dummy"
+           (Stg.trans_display stg t))
+  | Stg.Dummy _ -> (
+      match contract_structurally stg t with
+      | Error _ as e -> e
+      | Ok stg' -> (
+          match (Sg.of_stg stg, Sg.of_stg stg') with
+          | Ok sg, Ok sg' ->
+              if Sg.weak_bisimilar sg sg' then Ok stg'
+              else Error "contraction is not weakly bisimilar"
+          | Error e, _ | _, Error e ->
+              Error (Format.asprintf "SG generation failed: %a" Sg.pp_error e)))
+
+let all_dummies stg =
+  let rec loop stg removed =
+    let candidates =
+      List.init (Petri.n_trans stg.Stg.net) Fun.id
+      |> List.filter (fun t ->
+             match Stg.label stg t with
+             | Stg.Dummy _ -> true
+             | Stg.Edge _ -> false)
+    in
+    let rec try_each = function
+      | [] -> (stg, List.rev removed)
+      | t :: rest -> (
+          let name = Stg.trans_display stg t in
+          match dummy stg t with
+          | Ok stg' -> loop stg' (name :: removed)
+          | Error _ -> try_each rest)
+    in
+    try_each candidates
+  in
+  loop stg []

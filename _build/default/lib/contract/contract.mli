@@ -1,0 +1,20 @@
+(** Dummy-transition contraction: removing the silent events that the
+    specification compiler introduces (choice adapters, forks that cannot
+    be folded into neighbouring events), as petrify does before synthesis.
+
+    Contraction of a dummy transition [t] with presets [P] and postsets [Q]
+    replaces [P] and [Q] by the product places [(p, q)] carrying the merged
+    arcs and the summed marking.  The construction is behaviour-preserving
+    only under structural side conditions, so every contraction is verified
+    by checking {!Sg.weak_bisimilar} between the SGs before and after; a
+    contraction that fails verification is rejected. *)
+
+(** Contract one dummy transition.  Errors: the transition is not a dummy,
+    it is on a self-loop, the nets' SGs cannot be generated, or the result
+    is not weakly bisimilar to the original. *)
+val dummy : Stg.t -> Petri.trans -> (Stg.t, string) result
+
+(** Contract every dummy transition that can be removed while preserving
+    weak bisimilarity; returns the final STG and the names of the dummies
+    removed (in order).  STGs without dummies are returned unchanged. *)
+val all_dummies : Stg.t -> Stg.t * string list

@@ -1,0 +1,169 @@
+type report = {
+  name : string;
+  states : int;
+  csc_signals : int option;
+  area : int option;
+  critical_cycle : int option;
+  input_events : int option;
+  equations : string;
+  reductions : (Stg.label * Stg.label) list;
+  verified : bool option;
+      (* gate-level conformance of the implementation against its SG;
+         None when no implementation was produced *)
+  mapped_area : int option;
+      (* area after technology mapping (Techmap); None when no
+         implementation was produced *)
+}
+
+let opt_str = function Some v -> string_of_int v | None -> "-"
+
+let verified_str = function
+  | Some true -> "yes"
+  | Some false -> "NO"
+  | None -> "-"
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-18s area=%-5s csc=%-3s cycle=%-4s inp=%-3s states=%-5d verified=%s"
+    r.name (opt_str r.area) (opt_str r.csc_signals) (opt_str r.critical_cycle)
+    (opt_str r.input_events) r.states (verified_str r.verified)
+
+let render_table ~title reports =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %8s %10s %9s %11s %8s %9s\n" "Circuit" "area"
+       "# CSC sign." "cr.cycle" "inp.events" "states" "verified");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %8s %10s %9s %11s %8d %9s\n" r.name
+           (opt_str r.area)
+           (opt_str r.csc_signals)
+           (opt_str r.critical_cycle)
+           (opt_str r.input_events)
+           r.states (verified_str r.verified)))
+    reports;
+  Buffer.contents buf
+
+let implement ?delays ?(max_csc = 6) ?(style = `Complex_gate) ~name sg =
+  let states = Sg.n_states sg in
+  match Csc.resolve ~max_signals:max_csc sg with
+  | Error _ ->
+      {
+        name;
+        states;
+        csc_signals = None;
+        area = None;
+        critical_cycle = None;
+        input_events = None;
+        equations = "";
+        reductions = [];
+        verified = None;
+        mapped_area = None;
+      }
+  | Ok resolution ->
+      let impl = Logic.synthesize ~style resolution.Csc.sg in
+      let area = Logic.area_opt impl in
+      (* Default delay model (Tables 1-2): inputs 2; implemented signals 1,
+         except wires/constants which cost nothing. *)
+      let delay_fn =
+        match delays with
+        | Some d -> d resolution.Csc.stg
+        | None ->
+            let zero = Logic.zero_delay_signals impl in
+            let stg' = resolution.Csc.stg in
+            fun t ->
+              if Stg.is_input_trans stg' t then 2
+              else (
+                match Stg.label stg' t with
+                | Stg.Edge (sigid, _) when List.mem sigid zero -> 0
+                | Stg.Edge _ | Stg.Dummy _ -> 1)
+      in
+      let cycle, inputs =
+        match Timing.analyze ~delays:delay_fn resolution.Csc.stg with
+        | Ok t -> (Some t.Timing.period, Some t.Timing.input_events_on_cycle)
+        | Error _ -> (None, None)
+      in
+      (* Gate-level conformance: the decomposed netlist must excite exactly
+         the events the (CSC-resolved) specification enables, everywhere. *)
+      let verified =
+        match Circuit.conforms (Circuit.of_impl impl) with
+        | Ok () -> Some true
+        | Error _ -> Some false
+        | exception Invalid_argument _ -> Some false
+      in
+      {
+        name;
+        states;
+        csc_signals = Some (List.length resolution.Csc.inserted);
+        area;
+        critical_cycle = cycle;
+        input_events = inputs;
+        equations = Logic.render impl;
+        reductions = [];
+        verified;
+        mapped_area =
+          (match Techmap.map_impl impl with
+          | m -> Some m.Techmap.area
+          | exception Invalid_argument _ -> None);
+      }
+
+(* A reduced SG no longer matches its backing STG; realize a new STG
+   (the paper's step 5) before CSC insertion and timing. *)
+let implement_realized ?delays ?max_csc ?style ~name reduced applied =
+  if applied = [] then implement ?delays ?max_csc ?style ~name reduced
+  else
+    (* Step 5 of Fig. 4: realize an STG for the reduced SG — first with
+       simple causality places, then by full region-based synthesis. *)
+    let realized =
+      match Reduction.realize ~applied reduced with
+      | Ok stg' -> Ok stg'
+      | Error _ -> Regions.synthesize reduced
+    in
+    match realized with
+    | Ok stg' -> (
+        match Sg.of_stg stg' with
+        | Ok sg' ->
+            let r = implement ?delays ?max_csc ?style ~name sg' in
+            { r with reductions = applied }
+        | Error _ -> assert false (* realization already validated the STG *))
+    | Error msg ->
+        {
+          name;
+          states = Sg.n_states reduced;
+          csc_signals = None;
+          area = None;
+          critical_cycle = None;
+          input_events = None;
+          equations = "# STG realization failed: " ^ msg;
+          reductions = applied;
+          verified = None;
+          mapped_area = None;
+        }
+
+let implement_reduced ?delays ?max_csc ?style ~name sg script =
+  let reduced, applied = Search.apply_script sg script in
+  implement_realized ?delays ?max_csc ?style ~name reduced applied
+
+let optimize ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc ~name sg =
+  let outcome = Search.optimize ?w ?size_frontier ?keep_conc sg in
+  let best = outcome.Search.best in
+  implement_realized ?delays ?max_csc ?style ~name best.Search.sg
+    best.Search.applied
+
+let sg_exn ?budget stg =
+  match Sg.of_stg ?budget stg with
+  | Ok sg -> sg
+  | Error e ->
+      failwith (Format.asprintf "SG generation failed: %a" Sg.pp_error e)
+
+let lab stg name =
+  let found = ref None in
+  Array.iter
+    (fun l ->
+      if !found = None && String.equal (Stg.label_name stg l) name then
+        found := Some l)
+    stg.Stg.labels;
+  match !found with Some l -> l | None -> raise Not_found

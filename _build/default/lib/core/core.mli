@@ -1,0 +1,79 @@
+(** The paper's end-to-end design flow (Fig. 4):
+
+    {v
+    spec --(handshake expansion)--> STG --(SG generation)-->
+    SG --(concurrency reduction search)--> reduced SG
+       --(CSC insertion, logic synthesis, timing)--> report
+    v}
+
+    This module glues the substrate libraries together and produces the
+    area/performance rows of the paper's tables. *)
+
+(** One implementation, fully characterized — a row of Table 1 / Table 2. *)
+type report = {
+  name : string;
+  states : int;  (** SG size before CSC insertion *)
+  csc_signals : int option;
+      (** state signals inserted; [None] when resolution failed *)
+  area : int option;  (** area in gate-library units; [None] when CSC failed *)
+  critical_cycle : int option;
+  input_events : int option;  (** input events on the critical cycle *)
+  equations : string;  (** synthesized logic, one line per signal *)
+  reductions : (Stg.label * Stg.label) list;
+      (** concurrency reductions applied to reach this implementation *)
+  verified : bool option;
+      (** gate-level conformance of the decomposed netlist against the
+          CSC-resolved state graph ({!Circuit.conforms}); [None] when no
+          implementation was produced *)
+  mapped_area : int option;
+      (** area after technology mapping ({!Techmap.map_impl}); always at
+          most [area] *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Render a list of reports as the paper's table layout. *)
+val render_table : title:string -> report list -> string
+
+(** [implement ~name sg] — resolve CSC on the SG, synthesize logic
+    ([style] defaults to [`Complex_gate]; [`Generalized_c] uses C-elements
+    as in the paper's Fig. 3), and measure the critical cycle (default
+    delays: inputs 2, gates 1, wires 0). *)
+val implement :
+  ?delays:(Stg.t -> Petri.trans -> int) ->
+  ?max_csc:int ->
+  ?style:Logic.style ->
+  name:string ->
+  Sg.t ->
+  report
+
+(** [implement_reduced ~name sg script] — apply the reduction script, then
+    {!implement}; the report records the steps that actually applied. *)
+val implement_reduced :
+  ?delays:(Stg.t -> Petri.trans -> int) ->
+  ?max_csc:int ->
+  ?style:Logic.style ->
+  name:string ->
+  Sg.t ->
+  (Stg.label * Stg.label) list ->
+  report
+
+(** [optimize ~name sg] — run the Fig. 9 beam search and implement the best
+    configuration found. *)
+val optimize :
+  ?delays:(Stg.t -> Petri.trans -> int) ->
+  ?max_csc:int ->
+  ?style:Logic.style ->
+  ?w:float ->
+  ?size_frontier:int ->
+  ?keep_conc:Search.keep ->
+  name:string ->
+  Sg.t ->
+  report
+
+(** Convenience: SG of an STG or raise [Failure] with the error rendered. *)
+val sg_exn : ?budget:int -> Stg.t -> Sg.t
+
+(** Label by name, e.g. ["li-"], in the given STG.
+    @raise Not_found when no transition carries it. *)
+val lab : Stg.t -> string -> Stg.label

@@ -1,0 +1,211 @@
+type site = After of Petri.trans | On_arc of Petri.place
+
+let pp_site stg ppf = function
+  | After t -> Format.fprintf ppf "after %s" (Stg.trans_display stg t)
+  | On_arc p ->
+      let net = stg.Stg.net in
+      Format.fprintf ppf "on %s->%s"
+        (Stg.trans_display stg net.Petri.producers.(p).(0))
+        (Stg.trans_display stg net.Petri.consumers.(p).(0))
+
+let site_display stg s = Format.asprintf "%a" (pp_site stg) s
+
+let check_site stg = function
+  | After t ->
+      let net = stg.Stg.net in
+      Array.iter
+        (fun p ->
+          Array.iter
+            (fun t' ->
+              if Stg.is_input_trans stg t' then
+                invalid_arg
+                  (Printf.sprintf "Csc: site after %s delays input %s"
+                     (Stg.trans_display stg t)
+                     (Stg.trans_display stg t')))
+            net.Petri.consumers.(p))
+        net.Petri.post.(t)
+  | On_arc p ->
+      let net = stg.Stg.net in
+      if
+        Array.length net.Petri.producers.(p) <> 1
+        || Array.length net.Petri.consumers.(p) <> 1
+      then
+        invalid_arg
+          (Printf.sprintf "Csc: place %s is not a 1-in/1-out arc"
+             (Petri.place_name net p));
+      if Stg.is_input_trans stg net.Petri.consumers.(p).(0) then
+        invalid_arg
+          (Printf.sprintf "Csc: site on place %s delays an input"
+             (Petri.place_name net p))
+
+let sites stg =
+  let net = stg.Stg.net in
+  let ok f x = match f x with () -> true | exception Invalid_argument _ -> false in
+  let afters =
+    List.init (Petri.n_trans net) (fun t -> After t)
+    |> List.filter (ok (check_site stg))
+  in
+  let arcs =
+    List.init (Petri.n_places net) (fun p -> On_arc p)
+    |> List.filter (ok (check_site stg))
+  in
+  afters @ arcs
+
+let insert_signal stg ~set ~reset ~name =
+  if set = reset then invalid_arg "Csc.insert_signal: coinciding sites";
+  (try
+     ignore (Stg.signal_of_name stg name);
+     invalid_arg (Printf.sprintf "Csc.insert_signal: signal %s exists" name)
+   with Not_found -> ());
+  check_site stg set;
+  check_site stg reset;
+  let net = stg.Stg.net in
+  let b = Petri.Builder.create () in
+  for p = 0 to Petri.n_places net - 1 do
+    ignore
+      (Petri.Builder.add_place b ~name:(Petri.place_name net p)
+         ~tokens:net.Petri.initial.(p))
+  done;
+  for t = 0 to Petri.n_trans net - 1 do
+    ignore (Petri.Builder.add_trans b ~name:(Petri.trans_name net t))
+  done;
+  let t_plus = Petri.Builder.add_trans b ~name:(name ^ "+") in
+  let t_minus = Petri.Builder.add_trans b ~name:(name ^ "-") in
+  let edge_of = function
+    | s when s = set -> t_plus
+    | _ -> t_minus
+  in
+  (* On_arc sites: the producer's arc to the place is re-routed through the
+     new edge: t1 -> q -> c± -> p.  The initial token of a marked place
+     stays in the place, so the first occurrence of the new edge follows the
+     first firing of the producer. *)
+  let rerouted = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      match s with
+      | On_arc p -> Hashtbl.replace rerouted p (edge_of s)
+      | After _ -> ())
+    [ set; reset ];
+  for t = 0 to Petri.n_trans net - 1 do
+    Array.iter (fun p -> Petri.Builder.arc_pt b p t) net.Petri.pre.(t);
+    let series_edge =
+      match (set, reset) with
+      | After ts, _ when ts = t -> Some t_plus
+      | _, After tr when tr = t -> Some t_minus
+      | (After _ | On_arc _), (After _ | On_arc _) -> None
+    in
+    match series_edge with
+    | Some edge ->
+        let q =
+          Petri.Builder.add_place b
+            ~name:(Printf.sprintf "q_%s_%s" name (Petri.trans_name net t))
+            ~tokens:0
+        in
+        Petri.Builder.arc_tp b t q;
+        Petri.Builder.arc_pt b q edge;
+        Array.iter (fun p -> Petri.Builder.arc_tp b edge p) net.Petri.post.(t)
+    | None ->
+        Array.iter
+          (fun p ->
+            match Hashtbl.find_opt rerouted p with
+            | Some edge ->
+                let q =
+                  Petri.Builder.add_place b
+                    ~name:
+                      (Printf.sprintf "q_%s_%s" name (Petri.place_name net p))
+                    ~tokens:0
+                in
+                Petri.Builder.arc_tp b t q;
+                Petri.Builder.arc_pt b q edge;
+                Petri.Builder.arc_tp b edge p
+            | None -> Petri.Builder.arc_tp b t p)
+          net.Petri.post.(t)
+  done;
+  let kind_names k =
+    Array.to_list stg.Stg.signals
+    |> List.filter_map (fun s ->
+           if s.Stg.Signal.kind = k then Some s.Stg.Signal.name else None)
+  in
+  Stg.of_net
+    ~inputs:(kind_names Stg.Signal.Input)
+    ~outputs:(kind_names Stg.Signal.Output)
+    ~internals:(kind_names Stg.Signal.Internal @ [ name ])
+    (Petri.Builder.build b)
+
+type resolution = {
+  stg : Stg.t;
+  sg : Sg.t;
+  inserted : (string * string * string) list;
+}
+
+(* Evaluate one candidate insertion; None when invalid or degrading.
+   Plateau steps (same conflict count) are kept: a signal can trade the
+   current conflict for a new one that a further signal resolves. *)
+let try_insertion ?budget stg cur_conflicts ~set ~reset ~name =
+  match insert_signal stg ~set ~reset ~name with
+  | exception Invalid_argument _ -> None
+  | stg' -> (
+      match Sg.of_stg ?budget stg' with
+      | Error _ -> None
+      | Ok sg' ->
+          if not (Sg.is_speed_independent sg') then None
+          else
+            let conflicts = List.length (Sg.csc_conflicts sg') in
+            if conflicts > cur_conflicts then None
+            else Some (stg', sg', conflicts))
+
+exception Out_of_work
+
+let resolve ?(max_signals = 6) ?budget ?(work = 20_000) sg0 =
+  (* [work] bounds the total number of candidate insertions evaluated, so
+     that unresolvable specifications (e.g. conflicts separated only by
+     input events, like the paper's Fig. 1) fail fast instead of exploring
+     the whole plateau tree. *)
+  let work_left = ref work in
+  let rec solve stg sg depth inserted =
+    let conflicts = List.length (Sg.csc_conflicts sg) in
+    if conflicts = 0 then Ok { stg; sg; inserted = List.rev inserted }
+    else if depth = 0 then Error "signal budget exhausted"
+    else begin
+      let name = Printf.sprintf "csc%d" (List.length inserted) in
+      let all_sites = sites stg in
+      let candidates = ref [] in
+      List.iter
+        (fun set ->
+          List.iter
+            (fun reset ->
+              if set <> reset then begin
+                decr work_left;
+                if !work_left < 0 then raise Out_of_work;
+                match try_insertion ?budget stg conflicts ~set ~reset ~name with
+                | Some (stg', sg', c) ->
+                    let score = (c, Logic.estimate sg') in
+                    candidates := (score, stg', sg', set, reset) :: !candidates
+                | None -> ()
+              end)
+            all_sites)
+        all_sites;
+      let sorted =
+        List.sort (fun (s1, _, _, _, _) (s2, _, _, _, _) -> compare s1 s2)
+          !candidates
+      in
+      let rec try_best = function
+        | [] -> Error "no valid insertion found"
+        | (_, stg', sg', set, reset) :: rest -> (
+            let step = (name, site_display stg set, site_display stg reset) in
+            match solve stg' sg' (depth - 1) (step :: inserted) with
+            | Ok r -> Ok r
+            | Error _ -> try_best rest)
+      in
+      (* Backtrack over the best few candidates only. *)
+      try_best (List.filteri (fun i _ -> i < 5) sorted)
+    end
+  in
+  match solve sg0.Sg.stg sg0 max_signals [] with
+  | result -> result
+  | exception Out_of_work -> Error "insertion work budget exhausted"
+
+let count_signals ?max_signals sg =
+  match resolve ?max_signals sg with
+  | Ok r -> Some (List.length r.inserted)
+  | Error _ -> None

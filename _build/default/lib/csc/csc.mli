@@ -1,0 +1,63 @@
+(** Complete State Coding resolution by state-signal insertion.
+
+    The paper relies on petrify's CSC solver; this module implements a
+    simplified, self-contained variant adequate for the benchmarks.  A new
+    internal signal edge can be inserted at two kinds of sites:
+
+    - {b After a transition} [t]: every original successor of [t] now waits
+      for the new edge ([t -> q -> c± -> post(t)]).
+    - {b On an arc} (a place with one producer and one consumer): the edge
+      is interposed between the two ([t1 -> q -> c± -> p -> t2]).
+
+    Either way the insertion only delays events — it never disables them —
+    so speed-independence can only be lost through the new signal itself,
+    and the I/O interface is preserved as long as no input transition is
+    delayed directly (checked).  An insertion is accepted only when the
+    resulting state graph is consistent and speed-independent with strictly
+    fewer CSC conflicts.
+
+    The solver searches (set site, reset site) pairs greedily with
+    backtracking until CSC holds or the signal budget is exhausted. *)
+
+(** An insertion site. *)
+type site =
+  | After of Petri.trans
+      (** in series after the transition (all successors wait) *)
+  | On_arc of Petri.place
+      (** between the producer and consumer of a 1-in/1-out place *)
+
+val pp_site : Stg.t -> Format.formatter -> site -> unit
+
+(** All legal sites of an STG (no direct input-delay). *)
+val sites : Stg.t -> site list
+
+(** Insert one internal signal, [c+] at [set], [c-] at [reset].
+    @raise Invalid_argument when a site would delay an input transition
+    directly, when the sites coincide, or when [name] clashes with an
+    existing signal. *)
+val insert_signal : Stg.t -> set:site -> reset:site -> name:string -> Stg.t
+
+type resolution = {
+  stg : Stg.t;  (** STG with the inserted signals *)
+  sg : Sg.t;  (** its state graph — satisfies CSC *)
+  inserted : (string * string * string) list;
+      (** [(signal, set site, reset site)] per inserted signal, rendered *)
+}
+
+(** [resolve sg] — returns a CSC-satisfying refinement of the STG behind
+    [sg], inserting at most [max_signals] (default 6) internal signals
+    named [csc0], [csc1], ...  [work] (default 20_000) bounds the number of
+    candidate insertions evaluated before giving up.  [Error] when the
+    search fails.  [sg] must be the state graph of its own backing STG
+    (realize reduced SGs first). *)
+val resolve :
+  ?max_signals:int ->
+  ?budget:int ->
+  ?work:int ->
+  Sg.t ->
+  (resolution, string) result
+
+(** Number of state signals {!resolve} needs (0 when CSC already holds),
+    [None] when resolution fails — the "# CSC sign." column of the paper's
+    tables. *)
+val count_signals : ?max_signals:int -> Sg.t -> int option

@@ -1,0 +1,821 @@
+type proc =
+  | Skip
+  | Recv of string
+  | Send of string
+  | Rise of string
+  | Fall of string
+  | Tog of string
+  | Active of string
+  | Seq of proc list
+  | Par of proc list
+  | Choice of proc list
+  | Loop of proc
+
+type spec = {
+  proc : proc;
+  sig_inputs : string list;
+  sig_outputs : string list;
+  sig_internals : string list;
+}
+
+let spec ?(inputs = []) ?(internals = []) proc =
+  (* Explicit signals not declared as inputs/internals default to outputs. *)
+  let rec signals acc = function
+    | Skip | Recv _ | Send _ -> acc
+    | Rise s | Fall s | Tog s | Active s ->
+        if List.mem s acc then acc else s :: acc
+    | Seq ps | Par ps | Choice ps -> List.fold_left signals acc ps
+    | Loop p -> signals acc p
+  in
+  let all = List.rev (signals [] proc) in
+  let outputs =
+    List.filter (fun s -> not (List.mem s inputs || List.mem s internals)) all
+  in
+  { proc; sig_inputs = inputs; sig_outputs = outputs; sig_internals = internals }
+
+let channels proc =
+  let seen = ref [] in
+  let rec walk = function
+    | Skip | Rise _ | Fall _ | Tog _ | Active _ -> ()
+    | Recv a -> if not (List.mem_assoc a !seen) then seen := (a, `Passive) :: !seen
+    | Send a -> if not (List.mem_assoc a !seen) then seen := (a, `Active) :: !seen
+    | Seq ps | Par ps | Choice ps -> List.iter walk ps
+    | Loop p -> walk p
+  in
+  walk proc;
+  List.rev !seen
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to a Petri net.                                         *)
+
+type arity = Fixed of int | Flex
+
+let as_int = function Fixed n -> n | Flex -> 1
+
+let rec entry_arity = function
+  | Skip | Recv _ | Send _ | Rise _ | Fall _ | Tog _ | Active _ -> Flex
+  | Seq [] -> Flex
+  | Seq (p :: _) -> entry_arity p
+  | Par ps -> Fixed (List.fold_left (fun acc p -> acc + as_int (entry_arity p)) 0 ps)
+  | Choice _ -> Fixed 1
+  | Loop _ -> invalid_arg "Expansion: Loop is only allowed at top level"
+
+let rec exit_arity = function
+  | Skip | Recv _ | Send _ | Rise _ | Fall _ | Tog _ | Active _ -> Flex
+  | Seq [] -> Flex
+  | Seq ps -> exit_arity (List.nth ps (List.length ps - 1))
+  | Par ps -> Fixed (List.fold_left (fun acc p -> acc + as_int (exit_arity p)) 0 ps)
+  | Choice _ -> Fixed 1
+  | Loop _ -> invalid_arg "Expansion: Loop is only allowed at top level"
+
+type ctx = {
+  b : Petri.Builder.t;
+  mutable n_place : int;
+  mutable n_dummy : int;
+  counts : (string, int) Hashtbl.t;  (** total occurrences per event name *)
+  emitted : (string, int) Hashtbl.t;  (** occurrences emitted so far *)
+}
+
+let fresh_place ctx =
+  ctx.n_place <- ctx.n_place + 1;
+  Petri.Builder.add_place ctx.b
+    ~name:(Printf.sprintf "p%d" ctx.n_place)
+    ~tokens:0
+
+let fresh_places ctx n = List.init n (fun _ -> fresh_place ctx)
+
+let event_name proc =
+  match proc with
+  | Recv a -> a ^ "?"
+  | Send a -> a ^ "!"
+  | Rise s -> s ^ "+"
+  | Fall s -> s ^ "-"
+  | Tog s -> s ^ "~"
+  | Active s -> s ^ "@"
+  | Skip | Seq _ | Par _ | Choice _ | Loop _ -> assert false
+
+let count_events proc =
+  let counts = Hashtbl.create 16 in
+  let bump name =
+    Hashtbl.replace counts name (1 + try Hashtbl.find counts name with Not_found -> 0)
+  in
+  let rec walk = function
+    | Skip -> ()
+    | (Recv _ | Send _ | Rise _ | Fall _ | Tog _ | Active _) as e ->
+        bump (event_name e)
+    | Seq ps | Par ps | Choice ps -> List.iter walk ps
+    | Loop p -> walk p
+  in
+  walk proc;
+  counts
+
+let add_event ctx base ~entry ~exit =
+  let total = try Hashtbl.find ctx.counts base with Not_found -> 1 in
+  let k = 1 + try Hashtbl.find ctx.emitted base with Not_found -> 0 in
+  Hashtbl.replace ctx.emitted base k;
+  let name = if total > 1 then Printf.sprintf "%s/%d" base k else base in
+  let t = Petri.Builder.add_trans ctx.b ~name in
+  List.iter (fun p -> Petri.Builder.arc_pt ctx.b p t) entry;
+  List.iter (fun p -> Petri.Builder.arc_tp ctx.b t p) exit;
+  t
+
+let add_dummy ctx ~entry ~exit =
+  ctx.n_dummy <- ctx.n_dummy + 1;
+  let t =
+    Petri.Builder.add_trans ctx.b ~name:(Printf.sprintf "eps%d" ctx.n_dummy)
+  in
+  List.iter (fun p -> Petri.Builder.arc_pt ctx.b p t) entry;
+  List.iter (fun p -> Petri.Builder.arc_tp ctx.b t p) exit;
+  t
+
+let rec compile ctx proc ~entry ~exit =
+  match proc with
+  | Skip -> if entry <> exit then ignore (add_dummy ctx ~entry ~exit)
+  | Recv _ | Send _ | Rise _ | Fall _ | Tog _ | Active _ ->
+      ignore (add_event ctx (event_name proc) ~entry ~exit)
+  | Seq [] -> compile ctx Skip ~entry ~exit
+  | Seq [ p ] -> compile ctx p ~entry ~exit
+  | Seq (p :: rest) ->
+      let mid_n =
+        match (exit_arity p, entry_arity (Seq rest)) with
+        | Fixed n, _ -> n
+        | Flex, Fixed m -> m
+        | Flex, Flex -> 1
+      in
+      let mid = fresh_places ctx mid_n in
+      compile ctx p ~entry ~exit:mid;
+      compile ctx (Seq rest) ~entry:mid ~exit
+  | Par ps ->
+      let in_needs = List.map (fun p -> as_int (entry_arity p)) ps in
+      let out_needs = List.map (fun p -> as_int (exit_arity p)) ps in
+      let total_in = List.fold_left ( + ) 0 in_needs in
+      let total_out = List.fold_left ( + ) 0 out_needs in
+      let entries =
+        if List.length entry = total_in then entry
+        else begin
+          let fresh = fresh_places ctx total_in in
+          ignore (add_dummy ctx ~entry ~exit:fresh);
+          fresh
+        end
+      in
+      let exits =
+        if List.length exit = total_out then exit
+        else begin
+          let fresh = fresh_places ctx total_out in
+          ignore (add_dummy ctx ~entry:fresh ~exit);
+          fresh
+        end
+      in
+      let rec slice places = function
+        | [] -> []
+        | n :: rest ->
+            let rec take k acc places =
+              if k = 0 then (List.rev acc, places)
+              else
+                match places with
+                | p :: tl -> take (k - 1) (p :: acc) tl
+                | [] -> assert false
+            in
+            let chunk, remaining = take n [] places in
+            chunk :: slice remaining rest
+      in
+      let entry_chunks = slice entries in_needs in
+      let exit_chunks = slice exits out_needs in
+      List.iteri
+        (fun i p ->
+          compile ctx p ~entry:(List.nth entry_chunks i)
+            ~exit:(List.nth exit_chunks i))
+        ps
+  | Choice ps ->
+      let entry1 =
+        match entry with
+        | [ _ ] -> entry
+        | _ ->
+            let fresh = fresh_places ctx 1 in
+            ignore (add_dummy ctx ~entry ~exit:fresh);
+            fresh
+      in
+      List.iter (fun p -> compile ctx p ~entry:entry1 ~exit) ps
+  | Loop _ -> invalid_arg "Expansion: Loop is only allowed at top level"
+
+(* Map each event occurrence (base name, instance index) to the index of
+   the top-level process it belongs to, mirroring the compiler's traversal
+   order exactly. *)
+let occurrence_branches processes =
+  let counts = Hashtbl.create 16 in
+  let tbl = Hashtbl.create 16 in
+  let rec walk br = function
+    | Skip -> ()
+    | (Recv _ | Send _ | Rise _ | Fall _ | Tog _ | Active _) as e ->
+        let name = event_name e in
+        let k = 1 + try Hashtbl.find counts name with Not_found -> 0 in
+        Hashtbl.replace counts name k;
+        Hashtbl.replace tbl (name, k) br
+    | Seq ps | Par ps | Choice ps -> List.iter (walk br) ps
+    | Loop p -> walk br p
+  in
+  List.iteri walk processes;
+  tbl
+
+(* Channels whose two directions live in two different top-level processes
+   are internal: both wires are driven by the circuit.  Returns
+   (channel, active branch, passive branch); the active end sends first.
+   @raise Invalid_argument on unsupported usage (more than one handshake
+   per end, or more than two ends). *)
+let internal_channels processes =
+  let per_branch = Hashtbl.create 8 in
+  (* channel -> (branch -> events in order, reversed) *)
+  let rec walk br = function
+    | Skip | Rise _ | Fall _ | Tog _ | Active _ -> ()
+    | (Recv a | Send a) as e ->
+        let key = (a, br) in
+        let prev = try Hashtbl.find per_branch key with Not_found -> [] in
+        Hashtbl.replace per_branch key (e :: prev)
+    | Seq ps | Par ps | Choice ps -> List.iter (walk br) ps
+    | Loop p -> walk br p
+  in
+  List.iteri walk processes;
+  let chans = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (a, br) evs ->
+      let prev = try Hashtbl.find chans a with Not_found -> [] in
+      Hashtbl.replace chans a ((br, List.rev evs) :: prev))
+    per_branch;
+  Hashtbl.fold
+    (fun a ends acc ->
+      match ends with
+      | [ _ ] -> acc (* ordinary port *)
+      | [ (br1, evs1); (br2, evs2) ] ->
+          let is_send = function Send _ -> true | _ -> false in
+          let active, passive =
+            match (evs1, evs2) with
+            | e1 :: _, _ when is_send e1 -> ((br1, evs1), (br2, evs2))
+            | _, e2 :: _ when is_send e2 -> ((br2, evs2), (br1, evs1))
+            | _, _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Expansion: internal channel %s has no sending end" a)
+          in
+          let check (_, evs) send recv =
+            let sends = List.length (List.filter is_send evs) in
+            let recvs = List.length evs - sends in
+            if sends <> send || recvs <> recv then
+              invalid_arg
+                (Printf.sprintf
+                   "Expansion: internal channel %s must perform exactly one \
+                    handshake per end per cycle" a)
+          in
+          check active 1 1;
+          check passive 1 1;
+          (a, fst active, fst passive) :: acc
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Expansion: channel %s used by more than two \
+                             processes" a))
+    chans []
+
+let is_loop = function Loop _ -> true | _ -> false
+
+(* The top-level processes of a specification: a Par of Loops is a
+   multi-process system (each loop runs forever, synchronizing only through
+   shared channels); anything else is a single process. *)
+let top_processes = function
+  | Par ps when ps <> [] && List.for_all is_loop ps -> ps
+  | p -> [ p ]
+
+let compile_body spec_proc =
+  let processes = top_processes spec_proc in
+  let strip = function Loop p -> p | p -> p in
+  let ctx =
+    {
+      b = Petri.Builder.create ();
+      n_place = 0;
+      n_dummy = 0;
+      counts =
+        (let counts = Hashtbl.create 16 in
+         List.iter
+           (fun p ->
+             Hashtbl.iter
+               (fun k v ->
+                 Hashtbl.replace counts k
+                   (v + try Hashtbl.find counts k with Not_found -> 0))
+               (count_events (strip p)))
+           processes;
+         counts);
+      emitted = Hashtbl.create 16;
+    }
+  in
+  let compile_process idx spec_proc =
+    let body, looping =
+      match spec_proc with Loop p -> (p, true) | p -> (p, false)
+    in
+    if looping then begin
+      let n =
+        match (entry_arity body, exit_arity body) with
+        | Fixed n, _ -> n
+        | Flex, Fixed m -> m
+        | Flex, Flex -> 1
+      in
+      let home =
+        List.init n (fun i ->
+            Petri.Builder.add_place ctx.b
+              ~name:(Printf.sprintf "home%d_%d" idx i)
+              ~tokens:1)
+      in
+      compile ctx body ~entry:home ~exit:home
+    end
+    else begin
+      let start =
+        Petri.Builder.add_place ctx.b
+          ~name:(Printf.sprintf "start%d" idx)
+          ~tokens:1
+      in
+      let stop =
+        Petri.Builder.add_place ctx.b
+          ~name:(Printf.sprintf "stop%d" idx)
+          ~tokens:0
+      in
+      compile ctx body ~entry:[ start ] ~exit:[ stop ]
+    end
+  in
+  List.iteri compile_process processes;
+  ctx
+
+(* ------------------------------------------------------------------ *)
+(* Net surgery: rebuild with a relabeling and extra structure.          *)
+
+type surgery = {
+  sb : Petri.Builder.t;
+  mutable trans_map : (Petri.trans * Petri.trans) list;
+      (** old transition -> new transition *)
+}
+
+let copy_net net ~rename =
+  let sb = Petri.Builder.create () in
+  for p = 0 to Petri.n_places net - 1 do
+    ignore
+      (Petri.Builder.add_place sb ~name:(Petri.place_name net p)
+         ~tokens:net.Petri.initial.(p))
+  done;
+  let trans_map = ref [] in
+  for t = 0 to Petri.n_trans net - 1 do
+    let t' = Petri.Builder.add_trans sb ~name:(rename t) in
+    trans_map := (t, t') :: !trans_map
+  done;
+  for t = 0 to Petri.n_trans net - 1 do
+    let t' = List.assoc t !trans_map in
+    Array.iter (fun p -> Petri.Builder.arc_pt sb p t') net.Petri.pre.(t);
+    Array.iter (fun p -> Petri.Builder.arc_tp sb t' p) net.Petri.post.(t)
+  done;
+  { sb; trans_map = !trans_map }
+
+(* Base event name without the instance suffix. *)
+let base_of name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Occurrences (new transition ids) of a raw event in the rebuilt net. *)
+let occurrences net surgery raw_base =
+  List.filter_map
+    (fun (t_old, t_new) ->
+      if String.equal (base_of (Petri.trans_name net t_old)) raw_base then
+        Some t_new
+      else None)
+    surgery.trans_map
+
+let chan_wires a = (a ^ "i", a ^ "o")
+
+(* Wires of an internal channel: the request is driven by the active end,
+   the acknowledge by the passive end; both are internal signals. *)
+let internal_wires a = (a ^ "req", a ^ "ack")
+
+(* Occurrence index of a raw transition name ("c!/2" -> 2, "c!" -> 1). *)
+let occurrence_index name =
+  match String.index_opt name '/' with
+  | Some i ->
+      int_of_string (String.sub name (i + 1) (String.length name - i - 1))
+  | None -> 1
+
+(* Rename raw event names to phase-refined edges.  [edge] is "+" for
+   4-phase, "~" for 2-phase.  [resolve_internal] classifies an occurrence
+   of an internal-channel event: [None] for ordinary ports. *)
+let rename_refined ~edge ~resolve_internal net t =
+  let name = Petri.trans_name net t in
+  let base = base_of name in
+  let suffix =
+    String.sub name (String.length base) (String.length name - String.length base)
+  in
+  let n = String.length base in
+  let body = if n > 0 then String.sub base 0 (n - 1) else "" in
+  if n = 0 then name
+  else
+    match base.[n - 1] with
+    | '?' | '!' -> (
+        match resolve_internal ~chan:body ~event:base ~k:(occurrence_index name) with
+        | Some renamed -> renamed (* internal channels: no instance suffix *)
+        | None ->
+            let wire =
+              if base.[n - 1] = '?' then fst (chan_wires body)
+              else snd (chan_wires body)
+            in
+            wire ^ edge ^ suffix)
+    | '@' -> body ^ edge ^ suffix
+    | '+' | '-' | '~' -> name
+    | _ -> name
+
+(* Add the Fig. 5.a structure for an independent return-to-zero of signal
+   [s]: rdy(marked) -> every s+ ; every s+ -> rtz ; rtz -> s- ; s- -> rdy. *)
+let add_independent_rtz sb ~rises ~signal_name =
+  let rdy =
+    Petri.Builder.add_place sb ~name:("rdy_" ^ signal_name) ~tokens:1
+  in
+  let rtz =
+    Petri.Builder.add_place sb ~name:("rtz_" ^ signal_name) ~tokens:0
+  in
+  let fall = Petri.Builder.add_trans sb ~name:(signal_name ^ "-") in
+  List.iter
+    (fun t ->
+      Petri.Builder.arc_pt sb rdy t;
+      Petri.Builder.arc_tp sb t rtz)
+    rises;
+  Petri.Builder.arc_pt sb rtz fall;
+  Petri.Builder.arc_tp sb fall rdy;
+  fall
+
+(* Add the Fig. 5.c structure for a channel: the return-to-zero sequence of
+   the 4-phase protocol.  [requests] are the rising request instances,
+   [acks] the rising acknowledge instances; [first_reset]/[second_reset]
+   name the falling transitions in protocol order (for a passive channel:
+   requests = ai+, acks = ao+, resets ai- then ao-). *)
+let add_channel_rtz sb ~chan ~requests ~acks ~first_reset ~second_reset =
+  let req = Petri.Builder.add_place sb ~name:("req_" ^ chan) ~tokens:1 in
+  let rtz = Petri.Builder.add_place sb ~name:("rtz_" ^ chan) ~tokens:0 in
+  let mid = Petri.Builder.add_place sb ~name:("mid_" ^ chan) ~tokens:0 in
+  let t1 = Petri.Builder.add_trans sb ~name:first_reset in
+  let t2 = Petri.Builder.add_trans sb ~name:second_reset in
+  List.iter (fun t -> Petri.Builder.arc_pt sb req t) requests;
+  List.iter (fun t -> Petri.Builder.arc_tp sb t rtz) acks;
+  Petri.Builder.arc_pt sb rtz t1;
+  Petri.Builder.arc_tp sb t1 mid;
+  Petri.Builder.arc_pt sb mid t2;
+  Petri.Builder.arc_tp sb t2 req
+
+let signal_partition spec chans =
+  let chan_inputs = List.map (fun (a, _) -> fst (chan_wires a)) chans in
+  let chan_outputs = List.map (fun (a, _) -> snd (chan_wires a)) chans in
+  ( chan_inputs @ spec.sig_inputs,
+    chan_outputs @ spec.sig_outputs,
+    spec.sig_internals )
+
+let actives proc =
+  let acc = ref [] in
+  let rec walk = function
+    | Active s -> if not (List.mem s !acc) then acc := s :: !acc
+    | Skip | Recv _ | Send _ | Rise _ | Fall _ | Tog _ -> ()
+    | Seq ps | Par ps | Choice ps -> List.iter walk ps
+    | Loop p -> walk p
+  in
+  walk proc;
+  List.rev !acc
+
+let compile_raw spec =
+  let ctx = compile_body spec.proc in
+  let net = Petri.Builder.build ctx.b in
+  (* At the raw level no transition parses as a signal edge except explicit
+     ones; declare only explicit signals. *)
+  Stg.of_net ~inputs:spec.sig_inputs ~outputs:spec.sig_outputs
+    ~internals:spec.sig_internals net
+
+(* Shared plumbing for the internal channels of multi-process specs. *)
+type internal_plan = {
+  chan : string;
+  active_branch : int;
+  passive_branch : int;
+}
+
+let internal_plans spec =
+  let processes = top_processes spec.proc in
+  List.map
+    (fun (chan, active_branch, passive_branch) ->
+      { chan; active_branch; passive_branch })
+    (internal_channels processes)
+
+(* The occurrence resolver used during renaming: requests become edges of
+   the internal request/acknowledge wires, synchronizations become
+   dummies. *)
+let make_resolver spec plans ~edge =
+  let processes = top_processes spec.proc in
+  let branch_of = occurrence_branches processes in
+  fun ~chan ~event ~k ->
+    match List.find_opt (fun p -> p.chan = chan) plans with
+    | None -> None
+    | Some plan ->
+        let br = Hashtbl.find branch_of (event, k) in
+        let req, ack = internal_wires chan in
+        let is_send = String.length event > 0 && event.[String.length event - 1] = '!' in
+        if is_send then
+          Some ((if br = plan.active_branch then req else ack) ^ edge)
+        else
+          Some
+            (Printf.sprintf "sync_%s_%s" chan
+               (if br = plan.passive_branch then "p" else "a"))
+
+(* Find the new-net transition whose renamed name is [name]. *)
+let renamed_lookup surgery rename name =
+  let rec scan = function
+    | [] -> invalid_arg ("Expansion: no transition renamed to " ^ name)
+    | (t_old, t_new) :: rest ->
+        if String.equal (rename t_old) name then t_new else scan rest
+  in
+  scan surgery.trans_map
+
+(* Synchronization places of one internal channel: the passive end's c?
+   waits for the request wire's edge, the active end's c? for the
+   acknowledge wire's edge. *)
+let wire_internal_syncs sb find plan ~edge =
+  let req, ack = internal_wires plan.chan in
+  let req_t = find (req ^ edge) and ack_t = find (ack ^ edge) in
+  let sync_p = find (Printf.sprintf "sync_%s_p" plan.chan) in
+  let sync_a = find (Printf.sprintf "sync_%s_a" plan.chan) in
+  ignore (Petri.Builder.connect sb req_t sync_p ~name:("w_" ^ req));
+  ignore (Petri.Builder.connect sb ack_t sync_a ~name:("w_" ^ ack));
+  (req_t, ack_t)
+
+(* 4-phase return-to-zero of an internal channel, all internal:
+   [creq+; cack+; creq-; cack-] with a marked ready place enabling the next
+   request. *)
+let wire_internal_rtz sb plan ~req_plus ~ack_plus =
+  let req, ack = internal_wires plan.chan in
+  let req_minus = Petri.Builder.add_trans sb ~name:(req ^ "-") in
+  let ack_minus = Petri.Builder.add_trans sb ~name:(ack ^ "-") in
+  ignore (Petri.Builder.connect sb ack_plus req_minus ~name:("rtz1_" ^ plan.chan));
+  ignore (Petri.Builder.connect sb req_minus ack_minus ~name:("rtz2_" ^ plan.chan));
+  let ready =
+    Petri.Builder.add_place sb ~name:("ready_" ^ plan.chan) ~tokens:1
+  in
+  Petri.Builder.arc_tp sb ack_minus ready;
+  Petri.Builder.arc_pt sb ready req_plus
+
+let two_phase spec =
+  let ctx = compile_body spec.proc in
+  let net = Petri.Builder.build ctx.b in
+  let plans = internal_plans spec in
+  let resolve_internal = make_resolver spec plans ~edge:"~" in
+  let rename = rename_refined ~edge:"~" ~resolve_internal net in
+  let surgery = copy_net net ~rename in
+  let sb = surgery.sb in
+  let find = renamed_lookup surgery rename in
+  List.iter
+    (fun plan -> ignore (wire_internal_syncs sb find plan ~edge:"~"))
+    plans;
+  let chans =
+    List.filter
+      (fun (a, _) -> not (List.exists (fun p -> p.chan = a) plans))
+      (channels spec.proc)
+  in
+  let inputs, outputs, internals = signal_partition spec chans in
+  let internals =
+    internals
+    @ List.concat_map
+        (fun p ->
+          let req, ack = internal_wires p.chan in
+          [ req; ack ])
+        plans
+  in
+  Stg.of_net ~inputs ~outputs ~internals (Petri.Builder.build sb)
+
+let four_phase ?(constraints = `Protocol) spec =
+  let ctx = compile_body spec.proc in
+  let net = Petri.Builder.build ctx.b in
+  let plans = internal_plans spec in
+  let resolve_internal = make_resolver spec plans ~edge:"+" in
+  let rename = rename_refined ~edge:"+" ~resolve_internal net in
+  let surgery = copy_net net ~rename in
+  let chans =
+    List.filter
+      (fun (a, _) -> not (List.exists (fun p -> p.chan = a) plans))
+      (channels spec.proc)
+  in
+  let sb = surgery.sb in
+  let find = renamed_lookup surgery rename in
+  List.iter
+    (fun plan ->
+      let req_plus, ack_plus = wire_internal_syncs sb find plan ~edge:"+" in
+      wire_internal_rtz sb plan ~req_plus ~ack_plus)
+    plans;
+  let handle_channel (a, role) =
+    let wire_in, wire_out = chan_wires a in
+    let recvs = occurrences net surgery (a ^ "?") in
+    let sends = occurrences net surgery (a ^ "!") in
+    match constraints with
+    | `None ->
+        if recvs <> [] then
+          ignore (add_independent_rtz sb ~rises:recvs ~signal_name:wire_in);
+        if sends <> [] then
+          ignore (add_independent_rtz sb ~rises:sends ~signal_name:wire_out)
+    | `Protocol -> (
+        match role with
+        | `Passive ->
+            (* [li+; lo+; li-; lo-] *)
+            add_channel_rtz sb ~chan:a ~requests:recvs ~acks:sends
+              ~first_reset:(wire_in ^ "-") ~second_reset:(wire_out ^ "-")
+        | `Active ->
+            (* [ro+; ri+; ro-; ri-] *)
+            add_channel_rtz sb ~chan:a ~requests:sends ~acks:recvs
+              ~first_reset:(wire_out ^ "-") ~second_reset:(wire_in ^ "-"))
+  in
+  List.iter handle_channel chans;
+  let handle_active s =
+    let rises = occurrences net surgery (s ^ "@") in
+    if rises <> [] then ignore (add_independent_rtz sb ~rises ~signal_name:s)
+  in
+  List.iter handle_active (actives spec.proc);
+  let inputs, outputs, internals = signal_partition spec chans in
+  let internals =
+    internals
+    @ List.concat_map
+        (fun p ->
+          let req, ack = internal_wires p.chan in
+          [ req; ack ])
+        plans
+  in
+  Stg.of_net ~inputs ~outputs ~internals (Petri.Builder.build sb)
+
+let expand_partial_stg stg ~partial =
+  let net = stg.Stg.net in
+  (* Check: the named signals only have rising transitions. *)
+  List.iter
+    (fun name ->
+      let sigid =
+        try Stg.signal_of_name stg name
+        with Not_found ->
+          invalid_arg ("Expansion.expand_partial_stg: unknown signal " ^ name)
+      in
+      Array.iteri
+        (fun t lab ->
+          match lab with
+          | Stg.Edge (sid, d) when sid = sigid && d <> Stg.Plus ->
+              invalid_arg
+                (Printf.sprintf
+                   "Expansion.expand_partial_stg: signal %s already has %s"
+                   name
+                   (Stg.trans_display stg t))
+          | Stg.Edge _ | Stg.Dummy _ -> ())
+        stg.Stg.labels)
+    partial;
+  let surgery = copy_net net ~rename:(Petri.trans_name net) in
+  List.iter
+    (fun name ->
+      let sigid = Stg.signal_of_name stg name in
+      let rises =
+        List.filter_map
+          (fun (t_old, t_new) ->
+            match Stg.label stg t_old with
+            | Stg.Edge (sid, Stg.Plus) when sid = sigid -> Some t_new
+            | Stg.Edge _ | Stg.Dummy _ -> None)
+          surgery.trans_map
+      in
+      ignore (add_independent_rtz surgery.sb ~rises ~signal_name:name))
+    partial;
+  let kind_names k =
+    Array.to_list stg.Stg.signals
+    |> List.filter_map (fun s ->
+           if s.Stg.Signal.kind = k then Some s.Stg.Signal.name else None)
+  in
+  Stg.of_net
+    ~inputs:(kind_names Stg.Signal.Input)
+    ~outputs:(kind_names Stg.Signal.Output)
+    ~internals:(kind_names Stg.Signal.Internal)
+    (Petri.Builder.build surgery.sb)
+
+module Parse = struct
+  exception Error of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+  type token =
+    | Name of string
+    | Op of char  (* ? ! + - ~ @ ; ( ) { } *)
+    | Parallel  (* || *)
+    | Bar  (* | *)
+    | Kw_loop
+    | Kw_skip
+
+  let tokenize text =
+    let n = String.length text in
+    let toks = ref [] in
+    let i = ref 0 in
+    let is_name_char c =
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+      | _ -> false
+    in
+    while !i < n do
+      let c = text.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+      else if is_name_char c then begin
+        let start = !i in
+        while !i < n && is_name_char text.[!i] do
+          incr i
+        done;
+        let word = String.sub text start (!i - start) in
+        toks :=
+          (match word with
+          | "loop" -> Kw_loop
+          | "skip" -> Kw_skip
+          | _ -> Name word)
+          :: !toks
+      end
+      else if c = '|' && !i + 1 < n && text.[!i + 1] = '|' then begin
+        toks := Parallel :: !toks;
+        i := !i + 2
+      end
+      else if c = '|' then begin
+        toks := Bar :: !toks;
+        incr i
+      end
+      else
+        match c with
+        | '?' | '!' | '+' | '-' | '~' | '@' | ';' | '(' | ')' | '{' | '}' ->
+            toks := Op c :: !toks;
+            incr i
+        | c -> fail "unexpected character %c" c
+    done;
+    List.rev !toks
+
+  (* Recursive descent over the token list. *)
+  let rec parse_seq toks =
+    let item, toks = parse_item toks in
+    match toks with
+    | Op ';' :: rest ->
+        let tail, toks = parse_seq rest in
+        let items = match tail with Seq l -> l | p -> [ p ] in
+        (Seq (item :: items), toks)
+    | toks -> (item, toks)
+
+  and parse_item toks =
+    match toks with
+    | Kw_skip :: rest -> (Skip, rest)
+    | Kw_loop :: Op '{' :: rest -> (
+        let body, toks = parse_seq rest in
+        match toks with
+        | Op '}' :: rest -> (Loop body, rest)
+        | _ -> fail "expected } after loop body")
+    | Op '(' :: rest -> (
+        let first, toks = parse_seq rest in
+        match toks with
+        | Op ')' :: rest -> (first, rest)
+        | Parallel :: _ ->
+            let rec more acc toks =
+              match toks with
+              | Parallel :: rest ->
+                  let p, toks = parse_seq rest in
+                  more (p :: acc) toks
+              | Op ')' :: rest -> (Par (List.rev acc), rest)
+              | _ -> fail "expected || or ) in parallel composition"
+            in
+            more [ first ] toks
+        | Bar :: _ ->
+            let rec more acc toks =
+              match toks with
+              | Bar :: rest ->
+                  let p, toks = parse_seq rest in
+                  more (p :: acc) toks
+              | Op ')' :: rest -> (Choice (List.rev acc), rest)
+              | _ -> fail "expected | or ) in choice"
+            in
+            more [ first ] toks
+        | _ -> fail "expected ), || or | after (")
+    | Name base :: Op suffix :: rest -> (
+        match suffix with
+        | '?' -> (Recv base, rest)
+        | '!' -> (Send base, rest)
+        | '+' -> (Rise base, rest)
+        | '-' -> (Fall base, rest)
+        | '~' -> (Tog base, rest)
+        | '@' -> (Active base, rest)
+        | _ -> fail "event %s must be followed by ? ! + - ~ or @" base)
+    | Name base :: _ -> fail "event %s must be followed by ? ! + - ~ or @" base
+    | _ -> fail "expected an event, (, loop or skip"
+
+  let proc text =
+    match tokenize text with
+    | [] -> fail "empty specification"
+    | toks -> (
+        let p, rest = parse_seq toks in
+        (* Top-level parallel composition without parentheses: a system of
+           communicating processes. *)
+        let rec more acc toks =
+          match toks with
+          | Parallel :: rest ->
+              let q, toks = parse_seq rest in
+              more (q :: acc) toks
+          | _ -> (List.rev acc, toks)
+        in
+        let ps, rest = more [ p ] rest in
+        let p = match ps with [ single ] -> single | ps -> Par ps in
+        match rest with
+        | [] -> p
+        | _ -> fail "trailing tokens after specification")
+end

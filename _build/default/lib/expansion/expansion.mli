@@ -1,0 +1,114 @@
+(** Handshake expansion (Sec. 4): from CSP-like specifications over channels
+    and partially specified signals to fully specified STGs, with reset
+    events inserted at maximum concurrency.
+
+    A specification is a process term over:
+    - channel actions [a?] (input) and [a!] (output) — a channel [a] is
+      implemented by wires [ai] (input) and [ao] (output);
+    - explicit signal edges [b+], [b-], [b~];
+    - partially specified signals (only the active rising edge is given,
+      the return-to-zero event is inserted by the expansion);
+    with sequence, parallel, choice and top-level loop combinators. *)
+
+type proc =
+  | Skip
+  | Recv of string  (** [a?] *)
+  | Send of string  (** [a!] *)
+  | Rise of string  (** [b+] *)
+  | Fall of string  (** [b-] *)
+  | Tog of string  (** [b~] *)
+  | Active of string
+      (** partially specified signal: only the active edge appears *)
+  | Seq of proc list
+  | Par of proc list
+      (** inside a process: parallel composition; at top level, a [Par] of
+          [Loop]s is a {e multi-process system} whose processes synchronize
+          through shared channels *)
+  | Choice of proc list  (** free choice between branches *)
+  | Loop of proc  (** allowed only at top level *)
+
+(** {2 Multi-process systems and internal channels}
+
+    When a channel's two directions are used by two different top-level
+    processes, the channel is {e internal}: both of its wires are driven by
+    the circuit.  The refinements implement it with a request wire
+    [creq] (driven by the end that sends first — the active end) and an
+    acknowledge wire [cack] (driven by the passive end), both declared as
+    internal signals.  A process's [c?] becomes a silent synchronization on
+    the other end's wire (a dummy transition, removable with
+    [Contract.all_dummies] before synthesis); 4-phase refinement adds the
+    internal return-to-zero chain [creq+; cack+; creq-; cack-].
+
+    Restriction: an internal channel must connect exactly two processes and
+    perform exactly one handshake per end per cycle
+    (@raise Invalid_argument otherwise). *)
+
+type spec = {
+  proc : proc;
+  sig_inputs : string list;  (** explicit signals driven by the environment *)
+  sig_outputs : string list;
+  sig_internals : string list;
+}
+
+val spec : ?inputs:string list -> ?internals:string list -> proc -> spec
+(** Convenience constructor: explicit signals not listed default to
+    outputs. *)
+
+(** Channels appearing in a process, each with its role: [`Passive] when the
+    first action is [a?] (the environment initiates), [`Active] when it is
+    [a!]. *)
+val channels : proc -> (string * [ `Passive | `Active ]) list
+
+(** Compile the process to a Petri net whose transitions carry the raw event
+    names ([a?], [a!], [b+], ...) — the channel-level STG of Fig. 10.a.
+    Channel events are dummies at this level.
+    @raise Invalid_argument on a non-top-level [Loop] or an unnamed
+    construct that cannot be compiled. *)
+val compile_raw : spec -> Stg.t
+
+(** 2-phase refinement: [a?] becomes [ai~], [a!] becomes [ao~], explicit and
+    partial signal events become toggles.  No reset events are needed. *)
+val two_phase : spec -> Stg.t
+
+(** 4-phase refinement with return-to-zero insertion at maximum concurrency.
+
+    [constraints] (default [`Protocol]) selects how reset events are
+    constrained:
+    - [`Protocol]: each channel obeys the 4-phase handshake interleaving
+      (Fig. 2.f / Fig. 5.c) — for a passive channel [l]:
+      [li+; lo+; li-; lo-];
+    - [`None]: every wire resets independently, the (invalid for real
+      handshakes) maximal-concurrency expansion of Fig. 2.e. *)
+val four_phase : ?constraints:[ `Protocol | `None ] -> spec -> Stg.t
+
+(** Expansion of a partially specified STG (design scenario 1 of the
+    paper): for each signal in [partial], a return-to-zero transition and
+    the [rdy]/[rtz] places of Fig. 5.a are added, making the falling edge
+    maximally concurrent.  Signals in [partial] must only have rising
+    transitions in [stg].
+    @raise Invalid_argument otherwise. *)
+val expand_partial_stg : Stg.t -> partial:string list -> Stg.t
+
+(** Concrete syntax for processes, used by the [astg] command-line tool:
+
+    {v
+    proc  ::= system ("||" system)*   top level: communicating processes
+    system::= "loop" "{" seq "}" | seq
+    seq   ::= item (";" item)*
+    item  ::= "(" comp ")" | atom
+    comp  ::= seq ("||" seq)*        parallel composition
+            | seq ("|" seq)*         free choice
+    atom  ::= name "?" | name "!"    channel input / output
+            | name "+" | name "-"    explicit signal edges
+            | name "~"               toggle
+            | name "@"               partially specified (active edge only)
+            | "skip"
+    v}
+
+    Whitespace is free; names are alphanumeric/underscore. *)
+module Parse : sig
+  exception Error of string
+
+  (** @raise Error on malformed input. *)
+  val proc : string -> proc
+end

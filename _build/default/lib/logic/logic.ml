@@ -1,0 +1,244 @@
+type style = [ `Complex_gate | `Generalized_c ]
+
+type driver =
+  | Sop of Boolf.Cover.t
+  | Gc of { set : Boolf.Cover.t; reset : Boolf.Cover.t }
+
+type signal_impl = {
+  signal : int;
+  driver : driver;
+  conflict_codes : int;
+  is_wire : bool;
+  is_constant : bool;
+}
+
+type impl = { sg : Sg.t; style : style; per_signal : signal_impl list }
+
+let minterm_of_code sg s =
+  let nsig = Stg.n_signals sg.Sg.stg in
+  let m = ref 0 in
+  for i = 0 to nsig - 1 do
+    if Sg.value sg s i = 1 then m := !m lor (1 lsl i)
+  done;
+  !m
+
+(* Is an edge of [sigid] enabled in state [s]? *)
+let excited sg s sigid =
+  Array.exists
+    (fun (tr, _) ->
+      match Stg.label sg.Sg.stg tr with
+      | Stg.Edge (sid, _) -> sid = sigid
+      | Stg.Dummy _ -> false)
+    sg.Sg.succ.(s)
+
+(* Next value of signal [sigid] in state [s]: current value flipped when an
+   edge of the signal is enabled. *)
+let next_value sg s sigid =
+  let v = Sg.value sg s sigid in
+  if excited sg s sigid then 1 - v else v
+
+let on_off_sets sg sigid =
+  let tbl = Hashtbl.create 64 in
+  for s = 0 to Sg.n_states sg - 1 do
+    let m = minterm_of_code sg s in
+    let nv = next_value sg s sigid in
+    let prev = try Hashtbl.find tbl m with Not_found -> (false, false) in
+    let has0, has1 = prev in
+    Hashtbl.replace tbl m (has0 || nv = 0, has1 || nv = 1)
+  done;
+  let on = ref [] and off = ref [] and conflicts = ref 0 in
+  Hashtbl.iter
+    (fun m (has0, has1) ->
+      if has0 && has1 then incr conflicts
+      else if has1 then on := m :: !on
+      else off := m :: !off)
+    tbl;
+  (List.sort compare !on, List.sort compare !off, !conflicts)
+
+(* Set/reset networks for the generalized C-element:
+   S: ON over ER(a+), OFF over stable-0 states and ER(a-);
+   R: ON over ER(a-), OFF over stable-1 states and ER(a+).
+   Conflicting codes (same code, both excited-to-rise and stable-0, etc.)
+   are dropped from both and counted. *)
+let gc_sets sg sigid =
+  let tbl = Hashtbl.create 64 in
+  (* per code: (in ER(a+), in ER(a-), stable0, stable1) *)
+  for s = 0 to Sg.n_states sg - 1 do
+    let m = minterm_of_code sg s in
+    let v = Sg.value sg s sigid and exc = excited sg s sigid in
+    let er_plus, er_minus, st0, st1 =
+      try Hashtbl.find tbl m with Not_found -> (false, false, false, false)
+    in
+    let entry =
+      if exc && v = 0 then (true, er_minus, st0, st1)
+      else if exc && v = 1 then (er_plus, true, st0, st1)
+      else if v = 0 then (er_plus, er_minus, true, st1)
+      else (er_plus, er_minus, st0, true)
+    in
+    Hashtbl.replace tbl m entry
+  done;
+  let s_on = ref [] and s_off = ref [] in
+  let r_on = ref [] and r_off = ref [] in
+  let conflicts = ref 0 in
+  Hashtbl.iter
+    (fun m (er_plus, er_minus, st0, st1) ->
+      (* A code is conflicting when it requires contradictory behaviour of
+         either network. *)
+      let s_conflict = er_plus && (st0 || er_minus) in
+      let r_conflict = er_minus && (st1 || er_plus) in
+      if s_conflict || r_conflict then incr conflicts
+      else begin
+        if er_plus then s_on := m :: !s_on
+        else if st0 || er_minus then s_off := m :: !s_off;
+        if er_minus then r_on := m :: !r_on
+        else if st1 || er_plus then r_off := m :: !r_off
+      end)
+    tbl;
+  ( List.sort compare !s_on,
+    List.sort compare !s_off,
+    List.sort compare !r_on,
+    List.sort compare !r_off,
+    !conflicts )
+
+let wire_like nsig sigid cover =
+  match cover with
+  | [ c ] ->
+      Boolf.Cube.literals c = 1
+      && (not (Boolf.Cube.bound c sigid))
+      && List.exists
+           (fun v -> Boolf.Cube.bound c v && Boolf.Cube.polarity c v)
+           (List.init nsig Fun.id)
+  | [] | _ :: _ :: _ -> false
+
+let synthesize_signal_sop sg sigid =
+  let nsig = Stg.n_signals sg.Sg.stg in
+  let on, off, conflict_codes = on_off_sets sg sigid in
+  let cover = Boolf.minimize ~n:nsig ~on ~off in
+  let is_constant = on = [] || off = [] in
+  {
+    signal = sigid;
+    driver = Sop cover;
+    conflict_codes;
+    is_wire = wire_like nsig sigid cover;
+    is_constant;
+  }
+
+let synthesize_signal_gc sg sigid =
+  let nsig = Stg.n_signals sg.Sg.stg in
+  let s_on, s_off, r_on, r_off, conflict_codes = gc_sets sg sigid in
+  let set = Boolf.minimize ~n:nsig ~on:s_on ~off:s_off in
+  let reset = Boolf.minimize ~n:nsig ~on:r_on ~off:r_off in
+  {
+    signal = sigid;
+    driver = Gc { set; reset };
+    conflict_codes;
+    is_wire = false;
+    is_constant = s_on = [] && r_on = [];
+  }
+
+let non_input_signals sg =
+  let nsig = Stg.n_signals sg.Sg.stg in
+  List.filter
+    (fun i -> not (Stg.Signal.is_input (Stg.signal sg.Sg.stg i)))
+    (List.init nsig Fun.id)
+
+let synthesize ?(style = `Complex_gate) sg =
+  let per_signal =
+    match style with
+    | `Complex_gate -> List.map (synthesize_signal_sop sg) (non_input_signals sg)
+    | `Generalized_c -> List.map (synthesize_signal_gc sg) (non_input_signals sg)
+  in
+  { sg; style; per_signal }
+
+let estimate ?(conflict_penalty = 4) sg =
+  let cost_of sigid =
+    let on, off, conflicts = on_off_sets sg sigid in
+    let nsig = Stg.n_signals sg.Sg.stg in
+    Boolf.estimate_literals ~n:nsig ~on ~off + (conflict_penalty * conflicts)
+  in
+  List.fold_left (fun acc sigid -> acc + cost_of sigid) 0 (non_input_signals sg)
+
+let gate_cost_2input = 16
+let gate_cost_inverter = 8
+let gate_cost_celement = 32
+
+let cover_area cover =
+  match cover with
+  | [] -> 0 (* constant 0 *)
+  | [ c ] when Boolf.Cube.literals c = 0 -> 0 (* constant 1 *)
+  | [ c ] when Boolf.Cube.literals c = 1 ->
+      (* wire or single inverter *)
+      let v =
+        let rec find i = if Boolf.Cube.bound c i then i else find (i + 1) in
+        find 0
+      in
+      if Boolf.Cube.polarity c v then 0 else gate_cost_inverter
+  | cover ->
+      let and_gates =
+        List.fold_left
+          (fun acc c -> acc + max 0 (Boolf.Cube.literals c - 1))
+          0 cover
+      in
+      let or_gates = List.length cover - 1 in
+      (* Inverters: one per variable used in negative polarity anywhere. *)
+      let neg_vars = ref 0 in
+      for v = 0 to 61 do
+        if
+          List.exists
+            (fun c -> Boolf.Cube.bound c v && not (Boolf.Cube.polarity c v))
+            cover
+        then incr neg_vars
+      done;
+      ((and_gates + or_gates) * gate_cost_2input)
+      + (!neg_vars * gate_cost_inverter)
+
+let driver_area = function
+  | Sop cover -> cover_area cover
+  | Gc { set; reset } ->
+      cover_area set + cover_area reset + gate_cost_celement
+
+let conflicts impl =
+  List.fold_left (fun acc si -> acc + si.conflict_codes) 0 impl.per_signal
+
+let area_opt impl =
+  if conflicts impl > 0 then None
+  else
+    Some
+      (List.fold_left (fun acc si -> acc + driver_area si.driver) 0
+         impl.per_signal)
+
+let area impl =
+  match area_opt impl with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Logic.area: %d CSC-conflicting codes remain"
+           (conflicts impl))
+
+let render impl =
+  let names =
+    Array.map (fun s -> s.Stg.Signal.name) impl.sg.Sg.stg.Stg.signals
+  in
+  let line si =
+    let name = names.(si.signal) in
+    let body =
+      match si.driver with
+      | Sop cover -> Boolf.Cover.render ~names cover
+      | Gc { set; reset } ->
+          Printf.sprintf "C(%s / %s)"
+            (Boolf.Cover.render ~names set)
+            (Boolf.Cover.render ~names reset)
+    in
+    let extra =
+      if si.conflict_codes > 0 then
+        Printf.sprintf "   # %d conflicting codes" si.conflict_codes
+      else ""
+    in
+    Printf.sprintf "%s = %s%s" name body extra
+  in
+  String.concat "\n" (List.map line impl.per_signal)
+
+let zero_delay_signals impl =
+  List.filter_map
+    (fun si -> if si.is_wire || si.is_constant then Some si.signal else None)
+    impl.per_signal

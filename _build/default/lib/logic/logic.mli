@@ -1,0 +1,95 @@
+(** Logic synthesis from a state graph: next-state function derivation,
+    two-level minimization, gate-level area estimation (Sec. 7 of the paper).
+
+    Two implementation styles are supported, as in petrify:
+
+    - {b Complex gate} ([`Complex_gate]): one atomic SOP per signal,
+      [a' = f_a(code)], where [f_a(code) = 1] iff in the state(s) with that
+      code either [a = 1] and [a-] is not enabled, or [a = 0] and [a+] is
+      enabled.
+    - {b Generalized C-element} ([`Generalized_c]): per signal a set network
+      [S] (covering the excitation region of [a+]) and a reset network [R]
+      (covering the excitation region of [a-]) driving a C-element:
+      [a' = S + a.R'] — the style of the paper's Fig. 3 circuits.
+
+    States whose codes collide with contradictory next values are CSC
+    conflicts; the codes involved are excluded from both ON and OFF sets and
+    counted, so that logic complexity can still be estimated for
+    specifications that have not yet been completed (the paper's heuristic
+    cost function). *)
+
+type style = [ `Complex_gate | `Generalized_c ]
+
+(** The synthesized network of one signal. *)
+type driver =
+  | Sop of Boolf.Cover.t  (** atomic complex gate *)
+  | Gc of { set : Boolf.Cover.t; reset : Boolf.Cover.t }
+      (** generalized C-element *)
+
+(** Synthesized (or estimated) function of one non-input signal. *)
+type signal_impl = {
+  signal : int;  (** signal id in the STG *)
+  driver : driver;
+  conflict_codes : int;  (** number of codes with contradictory next value *)
+  is_wire : bool;
+      (** the function is a single positive literal of another signal:
+          implementable as a wire, zero area *)
+  is_constant : bool;  (** ON or OFF set empty after minimization *)
+}
+
+type impl = {
+  sg : Sg.t;
+  style : style;
+  per_signal : signal_impl list;  (** one entry per output/internal signal *)
+}
+
+(** Derive and minimize the next-state function of every non-input signal.
+    [style] defaults to [`Complex_gate]. *)
+val synthesize : ?style:style -> Sg.t -> impl
+
+(** {2 Cost estimation for the optimizer} *)
+
+(** [estimate sg] — the heuristic logic-complexity measure: total literal
+    count of the minimized complex-gate covers plus [conflict_penalty] per
+    conflicting code (default 4 literals, so unresolved CSC is never
+    free). *)
+val estimate : ?conflict_penalty:int -> Sg.t -> int
+
+(** {2 Gate-level area}
+
+    The gate library (documented here as the area model of the repository):
+    every SOP cover is decomposed into 2-input AND/OR gates; each 2-input
+    gate costs 16 units, each input inverter 8 units, a C-element 32 units,
+    a single positive literal is a wire (0 units).  Absolute numbers are not
+    comparable with the paper's standard-cell library; relative ordering
+    is. *)
+
+val gate_cost_2input : int
+val gate_cost_inverter : int
+val gate_cost_celement : int
+
+(** Area in library units of one cover, decomposed into 2-input gates. *)
+val cover_area : Boolf.Cover.t -> int
+
+(** Area of one signal's driver (covers plus the C-element when [Gc]). *)
+val driver_area : driver -> int
+
+(** Total area of an implementation.
+    @raise Invalid_argument if some signal still has CSC conflicts (area is
+    only meaningful for implementable specifications). *)
+val area : impl -> int
+
+(** Like {!area} but returns [None] instead of raising. *)
+val area_opt : impl -> int option
+
+(** Total number of conflicting codes across signals (0 iff CSC holds from
+    the logic point of view). *)
+val conflicts : impl -> int
+
+(** Render the implementation as equations, one per line
+    ([a = ...] or [a = C(set / reset)]). *)
+val render : impl -> string
+
+(** Signal ids implemented as plain wires or constants (zero delay, zero
+    area). *)
+val zero_delay_signals : impl -> int list

@@ -1,0 +1,351 @@
+type place = int
+type trans = int
+type marking = int array
+
+type t = {
+  n_places : int;
+  n_trans : int;
+  place_names : string array;
+  trans_names : string array;
+  pre : place array array;
+  post : place array array;
+  producers : trans array array;
+  consumers : trans array array;
+  initial : marking;
+}
+
+module Builder = struct
+  type net = t
+
+  type t = {
+    mutable places : (string * int) list; (* reversed *)
+    mutable n_p : int;
+    mutable transs : string list; (* reversed *)
+    mutable n_t : int;
+    mutable arcs_pt : (place * trans) list;
+    mutable arcs_tp : (trans * place) list;
+  }
+
+  let create () =
+    { places = []; n_p = 0; transs = []; n_t = 0; arcs_pt = []; arcs_tp = [] }
+
+  let add_place b ~name ~tokens =
+    let id = b.n_p in
+    b.places <- (name, tokens) :: b.places;
+    b.n_p <- id + 1;
+    id
+
+  let add_trans b ~name =
+    let id = b.n_t in
+    b.transs <- name :: b.transs;
+    b.n_t <- id + 1;
+    id
+
+  let arc_pt b p t =
+    assert (p >= 0 && p < b.n_p && t >= 0 && t < b.n_t);
+    b.arcs_pt <- (p, t) :: b.arcs_pt
+
+  let arc_tp b t p =
+    assert (p >= 0 && p < b.n_p && t >= 0 && t < b.n_t);
+    b.arcs_tp <- (t, p) :: b.arcs_tp
+
+  let connect b t1 t2 ~name =
+    let p = add_place b ~name ~tokens:0 in
+    arc_tp b t1 p;
+    arc_pt b p t2;
+    p
+
+  let sorted_dedup l =
+    List.sort_uniq compare l |> Array.of_list
+
+  let build b =
+    let n_places = b.n_p and n_trans = b.n_t in
+    let place_list = List.rev b.places in
+    let place_names = Array.of_list (List.map fst place_list) in
+    let initial = Array.of_list (List.map snd place_list) in
+    let trans_names = Array.of_list (List.rev b.transs) in
+    let pre_l = Array.make n_trans [] and post_l = Array.make n_trans [] in
+    let prod_l = Array.make n_places [] and cons_l = Array.make n_places [] in
+    let add_pt (p, t) =
+      pre_l.(t) <- p :: pre_l.(t);
+      cons_l.(p) <- t :: cons_l.(p)
+    in
+    let add_tp (t, p) =
+      post_l.(t) <- p :: post_l.(t);
+      prod_l.(p) <- t :: prod_l.(p)
+    in
+    List.iter add_pt b.arcs_pt;
+    List.iter add_tp b.arcs_tp;
+    {
+      n_places;
+      n_trans;
+      place_names;
+      trans_names;
+      pre = Array.map sorted_dedup pre_l;
+      post = Array.map sorted_dedup post_l;
+      producers = Array.map sorted_dedup prod_l;
+      consumers = Array.map sorted_dedup cons_l;
+      initial;
+    }
+end
+
+let n_places net = net.n_places
+let n_trans net = net.n_trans
+let place_name net p = net.place_names.(p)
+let trans_name net t = net.trans_names.(t)
+
+let trans_of_name net name =
+  let rec loop i =
+    if i >= net.n_trans then raise Not_found
+    else if String.equal net.trans_names.(i) name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let initial_marking net = Array.copy net.initial
+
+let enabled net m t = Array.for_all (fun p -> m.(p) > 0) net.pre.(t)
+
+let enabled_all net m =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if enabled net m i then i :: acc else acc)
+  in
+  loop (net.n_trans - 1) []
+
+let fire net m t =
+  if not (enabled net m t) then
+    invalid_arg
+      (Printf.sprintf "Petri.fire: transition %s not enabled"
+         net.trans_names.(t));
+  let m' = Array.copy m in
+  Array.iter (fun p -> m'.(p) <- m'.(p) - 1) net.pre.(t);
+  Array.iter (fun p -> m'.(p) <- m'.(p) + 1) net.post.(t);
+  m'
+
+module Marking = struct
+  type t = marking
+
+  let equal = ( = )
+  let compare = compare
+
+  let hash (m : t) =
+    Array.fold_left (fun acc x -> (acc * 31) + x + 1) 17 m
+
+  let pp ~names ppf m =
+    let marked = ref [] in
+    Array.iteri
+      (fun p k ->
+        if k > 0 then
+          marked :=
+            (if k = 1 then names.(p) else Printf.sprintf "%s(%d)" names.(p) k)
+            :: !marked)
+      m;
+    Format.fprintf ppf "{%s}" (String.concat "," (List.rev !marked))
+
+  let marked_places m =
+    let acc = ref [] in
+    for p = Array.length m - 1 downto 0 do
+      if m.(p) > 0 then acc := p :: !acc
+    done;
+    !acc
+end
+
+exception State_budget_exceeded of int
+
+module Mtbl = Hashtbl.Make (struct
+  type t = marking
+
+  let equal = Marking.equal
+  let hash = Marking.hash
+end)
+
+let reachable ?(budget = 200_000) net =
+  let seen = Mtbl.create 1024 in
+  let queue = Queue.create () in
+  let order = ref [] in
+  let start = initial_marking net in
+  Mtbl.replace seen start ();
+  Queue.add start queue;
+  order := [ start ];
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    let expand t =
+      let m' = fire net m t in
+      if not (Mtbl.mem seen m') then begin
+        incr count;
+        if !count > budget then raise (State_budget_exceeded budget);
+        Mtbl.replace seen m' ();
+        Queue.add m' queue;
+        order := m' :: !order
+      end
+    in
+    List.iter expand (enabled_all net m)
+  done;
+  List.rev !order
+
+let is_safe ?budget net =
+  let safe m = Array.for_all (fun k -> k <= 1) m in
+  List.for_all safe (reachable ?budget net)
+
+let is_marked_graph net =
+  let ok p =
+    Array.length net.producers.(p) = 1 && Array.length net.consumers.(p) = 1
+  in
+  let rec loop p = p >= net.n_places || (ok p && loop (p + 1)) in
+  loop 0
+
+let is_free_choice net =
+  let ok p =
+    let cons = net.consumers.(p) in
+    Array.length cons <= 1
+    || Array.for_all (fun t -> net.pre.(t) = [| p |]) cons
+  in
+  let rec loop p = p >= net.n_places || (ok p && loop (p + 1)) in
+  loop 0
+
+let deadlock_free ?budget net =
+  let live m = enabled_all net m <> [] in
+  List.for_all live (reachable ?budget net)
+
+(* Strong connectivity of the (place+transition) graph, ignoring nodes with
+   no arcs at all.  Nodes: 0..n_places-1 are places, n_places.. are
+   transitions. *)
+let strongly_connected net =
+  let n = net.n_places + net.n_trans in
+  let succ = Array.make n [] and pred = Array.make n [] in
+  for t = 0 to net.n_trans - 1 do
+    let tn = net.n_places + t in
+    Array.iter
+      (fun p ->
+        succ.(p) <- tn :: succ.(p);
+        pred.(tn) <- p :: pred.(tn))
+      net.pre.(t);
+    Array.iter
+      (fun p ->
+        succ.(tn) <- p :: succ.(tn);
+        pred.(p) <- tn :: pred.(p))
+      net.post.(t)
+  done;
+  let active = Array.init n (fun i -> succ.(i) <> [] || pred.(i) <> []) in
+  let reach_from adj start =
+    let seen = Array.make n false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter dfs adj.(v)
+      end
+    in
+    dfs start;
+    seen
+  in
+  let rec first_active i =
+    if i >= n then None else if active.(i) then Some i else first_active (i + 1)
+  in
+  match first_active 0 with
+  | None -> true
+  | Some start ->
+      let fwd = reach_from succ start and bwd = reach_from pred start in
+      let rec check i =
+        i >= n || ((not active.(i)) || (fwd.(i) && bwd.(i))) && check (i + 1)
+      in
+      check 0
+
+let pp ppf net =
+  Format.fprintf ppf "@[<v>net: %d places, %d transitions@," net.n_places
+    net.n_trans;
+  for t = 0 to net.n_trans - 1 do
+    let names ps =
+      String.concat " "
+        (Array.to_list (Array.map (fun p -> net.place_names.(p)) ps))
+    in
+    Format.fprintf ppf "  %s: {%s} -> {%s}@," net.trans_names.(t)
+      (names net.pre.(t)) (names net.post.(t))
+  done;
+  Format.fprintf ppf "  m0 = %a@]"
+    (Marking.pp ~names:net.place_names)
+    net.initial
+
+(* ------------------------------------------------------------------ *)
+(* P-invariants by the Farkas algorithm: start from the identity matrix
+   paired with the incidence matrix; for each transition (column), combine
+   rows to cancel it, keeping non-negative combinations only. *)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let normalize row =
+  let g = Array.fold_left (fun acc x -> gcd_int acc (abs x)) 0 row in
+  if g > 1 then Array.map (fun x -> x / g) row else row
+
+(* Farkas elimination: non-negative integer row vectors y over [n_items]
+   with, for every constraint c, sum_i y_i * coeff i c = 0. *)
+let farkas ~n_items ~n_constraints ~coeff =
+  let rows =
+    ref (List.init n_items (fun i -> Array.init n_items (fun j -> if j = i then 1 else 0)))
+  in
+  let value y c =
+    let acc = ref 0 in
+    Array.iteri (fun i w -> if w <> 0 then acc := !acc + (w * coeff i c)) y;
+    !acc
+  in
+  let max_rows = 4096 in
+  (try
+     for c = 0 to n_constraints - 1 do
+       let zero, nonzero = List.partition (fun y -> value y c = 0) !rows in
+       let pos = List.filter (fun y -> value y c > 0) nonzero in
+       let neg = List.filter (fun y -> value y c < 0) nonzero in
+       let combos =
+         List.concat_map
+           (fun y1 ->
+             List.map
+               (fun y2 ->
+                 let a = abs (value y2 c) and b = abs (value y1 c) in
+                 normalize
+                   (Array.init n_items (fun i -> (a * y1.(i)) + (b * y2.(i)))))
+               neg)
+           pos
+       in
+       rows := zero @ combos;
+       if List.length !rows > max_rows then raise Exit
+     done
+   with Exit -> rows := []);
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun y ->
+      if Array.for_all (( = ) 0) y then None
+      else
+        let key = String.concat "," (Array.to_list (Array.map string_of_int y)) in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.replace seen key ();
+          Some y
+        end)
+    !rows
+
+let incidence net t p =
+  let count arr =
+    Array.fold_left (fun acc x -> if x = p then acc + 1 else acc) 0 arr
+  in
+  count net.post.(t) - count net.pre.(t)
+
+let p_invariants net =
+  farkas ~n_items:net.n_places ~n_constraints:net.n_trans
+    ~coeff:(fun p t -> incidence net t p)
+
+let t_invariants net =
+  farkas ~n_items:net.n_trans ~n_constraints:net.n_places
+    ~coeff:(fun t p -> incidence net t p)
+
+let invariant_value _net y m =
+  let acc = ref 0 in
+  Array.iteri (fun p w -> acc := !acc + (w * m.(p))) y;
+  !acc
+
+let covered_by_invariants net =
+  let invs = p_invariants net in
+  let rec covered p =
+    p >= net.n_places
+    || List.exists (fun y -> y.(p) > 0) invs && covered (p + 1)
+  in
+  covered 0

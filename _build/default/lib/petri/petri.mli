@@ -1,0 +1,143 @@
+(** Petri nets: the foundational substrate.
+
+    A net is a bipartite graph of places and transitions with unit arc
+    weights, plus an initial marking.  Nets built here are expected to be
+    bounded (usually safe); reachability exploration takes an explicit state
+    budget and fails loudly when exceeded.
+
+    Places and transitions are dense integer ids, assigned by {!Builder}. *)
+
+type place = int
+type trans = int
+
+(** A marking assigns a token count to every place.  Markings are immutable
+    from the outside: functions below always return fresh arrays. *)
+type marking = int array
+
+type t = private {
+  n_places : int;
+  n_trans : int;
+  place_names : string array;
+  trans_names : string array;
+  pre : place array array;   (** [pre.(t)] — input places of transition [t], sorted. *)
+  post : place array array;  (** [post.(t)] — output places of transition [t], sorted. *)
+  producers : trans array array;  (** [producers.(p)] — transitions with [p] in post. *)
+  consumers : trans array array;  (** [consumers.(p)] — transitions with [p] in pre. *)
+  initial : marking;
+}
+
+(** Imperative net construction.  Freeze with {!Builder.build}. *)
+module Builder : sig
+  type net = t
+  type t
+
+  val create : unit -> t
+
+  (** [add_place b ~name ~tokens] returns the new place id. *)
+  val add_place : t -> name:string -> tokens:int -> place
+
+  (** [add_trans b ~name] returns the new transition id. *)
+  val add_trans : t -> name:string -> trans
+
+  (** Arc from place to transition (the place becomes a precondition). *)
+  val arc_pt : t -> place -> trans -> unit
+
+  (** Arc from transition to place (the place becomes a postcondition). *)
+  val arc_tp : t -> trans -> place -> unit
+
+  (** [connect b t1 t2 ~name] inserts a fresh empty place between [t1] and
+      [t2], imposing the causality constraint [t1] before [t2].  Returns the
+      new place. *)
+  val connect : t -> trans -> trans -> name:string -> place
+
+  val build : t -> net
+end
+
+val n_places : t -> int
+val n_trans : t -> int
+val place_name : t -> place -> string
+val trans_name : t -> trans -> string
+
+(** [trans_of_name net name] finds the transition named [name].
+    @raise Not_found if absent. *)
+val trans_of_name : t -> string -> trans
+
+val initial_marking : t -> marking
+
+(** [enabled net m t] — all input places of [t] hold a token under [m]. *)
+val enabled : t -> marking -> trans -> bool
+
+(** All transitions enabled under [m], in increasing id order. *)
+val enabled_all : t -> marking -> trans list
+
+(** [fire net m t] returns the successor marking.
+    @raise Invalid_argument if [t] is not enabled. *)
+val fire : t -> marking -> trans -> marking
+
+exception State_budget_exceeded of int
+
+(** [reachable ?budget net] — all reachable markings in BFS order from the
+    initial marking.  [budget] defaults to [200_000].
+    @raise State_budget_exceeded when more markings are found. *)
+val reachable : ?budget:int -> t -> marking list
+
+(** [is_safe ?budget net] — no reachable marking puts more than one token in
+    a place. *)
+val is_safe : ?budget:int -> t -> bool
+
+(** A marked graph: every place has exactly one producer and one consumer. *)
+val is_marked_graph : t -> bool
+
+(** Free choice: any two transitions sharing an input place have equal
+    pre-sets. *)
+val is_free_choice : t -> bool
+
+(** [deadlock_free ?budget net] — every reachable marking enables some
+    transition. *)
+val deadlock_free : ?budget:int -> t -> bool
+
+(** Structural check: some transition is reachable from every transition by
+    alternating arcs (the net graph is strongly connected, ignoring isolated
+    nodes).  Useful as a sanity check on cyclic controller specs. *)
+val strongly_connected : t -> bool
+
+(** Pretty-print the net structure (places, transitions, arcs, marking). *)
+val pp : Format.formatter -> t -> unit
+
+module Marking : sig
+  type t = marking
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val compare : t -> t -> int
+  val pp : names:string array -> Format.formatter -> t -> unit
+
+  (** Places holding at least one token, sorted. *)
+  val marked_places : t -> place list
+end
+
+(** {2 Structural analysis}
+
+    P-(semi)invariants: integer row vectors [y >= 0] with
+    [y * C = 0] for the incidence matrix [C]; the weighted token count
+    [y * m] is constant over all reachable markings.  Handshake-expanded
+    STGs carry one invariant per channel (the request/acknowledge/reset
+    cycle) — a structural consistency certificate. *)
+
+(** A basis of non-negative P-invariants (Farkas-style elimination;
+    exponential in the worst case, fine for controller-sized nets).  Each
+    invariant maps place -> non-negative weight. *)
+val p_invariants : t -> int array list
+
+(** [invariant_value net y m] — the conserved quantity [y * m]. *)
+val invariant_value : t -> int array -> marking -> int
+
+(** T-(semi)invariants: non-negative transition multisets whose firing
+    returns the net to the same marking — the cyclic behaviours.  For the
+    handshake controllers here, the basic T-invariant fires every
+    transition of one operating cycle once. *)
+val t_invariants : t -> int array list
+
+(** Every place is covered by some invariant: implies structural
+    boundedness. *)
+val covered_by_invariants : t -> bool

@@ -1,0 +1,233 @@
+type invalid_reason =
+  | Not_concurrent
+  | Input_event
+  | Event_vanishes of Stg.label
+  | Deadlock_introduced of Sg.state
+  | Persistency_broken of (Sg.state * Stg.label * Stg.label)
+
+let pp_invalid stg ppf = function
+  | Not_concurrent -> Format.pp_print_string ppf "events are not concurrent"
+  | Input_event -> Format.pp_print_string ppf "cannot delay an input event"
+  | Event_vanishes lab ->
+      Format.fprintf ppf "event %s disappears" (Stg.label_name stg lab)
+  | Deadlock_introduced s -> Format.fprintf ppf "deadlock at state %d" s
+  | Persistency_broken (s, lab, by) ->
+      Format.fprintf ppf "persistency of %s broken by %s at state %d"
+        (Stg.label_name stg lab) (Stg.label_name stg by) s
+
+let back_reach sg ~within targets =
+  let inside = Array.make sg.Sg.n false in
+  List.iter (fun s -> inside.(s) <- true) within;
+  let reached = Array.make sg.Sg.n false in
+  let queue = Queue.create () in
+  let visit s =
+    if inside.(s) && not reached.(s) then begin
+      reached.(s) <- true;
+      Queue.add s queue
+    end
+  in
+  List.iter visit targets;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter (fun (_, s') -> visit s') sg.Sg.pred.(s)
+  done;
+  let acc = ref [] in
+  for s = sg.Sg.n - 1 downto 0 do
+    if reached.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let label_is_input stg = function
+  | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
+  | Stg.Dummy _ -> false
+
+(* Labels present on arcs reachable from the initial state, given a succ
+   structure over the original state space. *)
+let reachable_arc_labels stg n succ initial =
+  let seen_state = Array.make n false in
+  let labels = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  seen_state.(initial) <- true;
+  Queue.add initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let visit (tr, s') =
+      Hashtbl.replace labels (Stg.label stg tr) ();
+      if not seen_state.(s') then begin
+        seen_state.(s') <- true;
+        Queue.add s' queue
+      end
+    in
+    List.iter visit succ.(s)
+  done;
+  (labels, seen_state)
+
+(* Shared validity pipeline (Def. 5.1): given modified successor lists over
+   the original state space, check no event vanishes, no deadlock appears,
+   and persistency is preserved; build the pruned SG. *)
+let validate_and_build sg succ =
+  let stg = sg.Sg.stg in
+  let old_labels, _ =
+    reachable_arc_labels stg sg.Sg.n
+      (Array.map Array.to_list sg.Sg.succ)
+      sg.Sg.initial
+  in
+  let new_labels, reachable =
+    reachable_arc_labels stg sg.Sg.n succ sg.Sg.initial
+  in
+  let vanished =
+    Hashtbl.fold
+      (fun lab () acc ->
+        if Hashtbl.mem new_labels lab then acc else lab :: acc)
+      old_labels []
+  in
+  match vanished with
+  | lab :: _ -> Error (Event_vanishes lab)
+  | [] -> (
+      let deadlock = ref None in
+      for s = 0 to sg.Sg.n - 1 do
+        if
+          reachable.(s) && succ.(s) = []
+          && Array.length sg.Sg.succ.(s) > 0
+          && !deadlock = None
+        then deadlock := Some s
+      done;
+      match !deadlock with
+      | Some s -> Error (Deadlock_introduced s)
+      | None -> (
+          let reduced =
+            Sg.make ~stg ~markings:sg.Sg.markings ~codes:sg.Sg.codes ~succ
+              ~initial:sg.Sg.initial
+          in
+          match Sg.persistency_violations reduced with
+          | [] -> Ok reduced
+          | v :: _ ->
+              if Sg.is_output_persistent sg then Error (Persistency_broken v)
+              else
+                (* The source was not speed-independent; Prop. 6.1 does not
+                   apply, accept the reduction as-is. *)
+                Ok reduced))
+
+let fwd_red sg ~a ~b =
+  let stg = sg.Sg.stg in
+  if label_is_input stg a then Error Input_event
+  else
+    let era = Sg.er sg a and erb = Sg.er sg b in
+    let in_erb = Array.make sg.Sg.n false in
+    List.iter (fun s -> in_erb.(s) <- true) erb;
+    let inter = List.filter (fun s -> in_erb.(s)) era in
+    if inter = [] then Error Not_concurrent
+    else begin
+      let removed = back_reach sg ~within:era inter in
+      let drop = Array.make sg.Sg.n false in
+      List.iter (fun s -> drop.(s) <- true) removed;
+      let succ =
+        Array.init sg.Sg.n (fun s ->
+            let arcs = Array.to_list sg.Sg.succ.(s) in
+            if drop.(s) then
+              List.filter (fun (tr, _) -> Stg.label stg tr <> a) arcs
+            else arcs)
+      in
+      validate_and_build sg succ
+    end
+
+(* The more general single-state reduction of [3]: remove the arcs of one
+   event from ONE state only, provided the event remains enabled elsewhere.
+   Expensive to search over but strictly more general than FwdRed. *)
+let remove_arc sg ~state ~a =
+  let stg = sg.Sg.stg in
+  if label_is_input stg a then Error Input_event
+  else if not (List.mem a (Sg.enabled_labels sg state)) then
+    Error Not_concurrent
+  else begin
+    let succ =
+      Array.init sg.Sg.n (fun s ->
+          let arcs = Array.to_list sg.Sg.succ.(s) in
+          if s = state then
+            List.filter (fun (tr, _) -> Stg.label stg tr <> a) arcs
+          else arcs)
+    in
+    validate_and_build sg succ
+  end
+
+let creates_arc sg ~a ~b =
+  let era = Sg.er sg a in
+  let in_era = Array.make sg.Sg.n false in
+  List.iter (fun s -> in_era.(s) <- true) era;
+  (* minimal in ER: no predecessor inside the ER *)
+  let minimal s =
+    not (Array.exists (fun (_, sp) -> in_era.(sp)) sg.Sg.pred.(s))
+  in
+  let minimals = List.filter minimal era in
+  minimals <> []
+  && List.for_all
+       (fun s ->
+         Array.length sg.Sg.pred.(s) > 0
+         && Array.for_all
+              (fun (tr, _) -> Stg.label sg.Sg.stg tr = b)
+              sg.Sg.pred.(s))
+       minimals
+
+(* Which of two labels can fire first from the initial state: explore until
+   an arc with either label is taken. *)
+let first_fired sg ~a ~b =
+  let can_first target other =
+    (* path from initial reaching a [target] arc with no [other] arc before *)
+    let seen = Array.make sg.Sg.n false in
+    let rec dfs s =
+      seen.(s) <- true;
+      Array.exists
+        (fun (tr, s') ->
+          let lab = Stg.label sg.Sg.stg tr in
+          if lab = target then true
+          else if lab = other then false
+          else (not seen.(s')) && dfs s')
+        sg.Sg.succ.(s)
+    in
+    dfs sg.Sg.initial
+  in
+  (can_first a b, can_first b a)
+
+let realize ~applied reduced =
+  let stg = reduced.Sg.stg in
+  let pairs = List.sort_uniq compare applied in
+  let rec constrain stg_acc = function
+    | [] -> Ok stg_acc
+    | (a, b) :: rest -> (
+        let a_first, b_first = first_fired reduced ~a ~b in
+        match (a_first, b_first) with
+        | true, true ->
+            Error
+              (Printf.sprintf
+                 "reduction (%s after %s) is not a simple causality place"
+                 (Stg.label_name stg a) (Stg.label_name stg b))
+        | _ ->
+            let tokens = if a_first then 1 else 0 in
+            let insts_a = Stg.instances stg_acc a
+            and insts_b = Stg.instances stg_acc b in
+            let add_place st tb =
+              List.fold_left
+                (fun st ta ->
+                  let st = Stg.add_causality st tb ta in
+                  if tokens = 1 then begin
+                    (* mark the just-added place (the last one) *)
+                    let net = st.Stg.net in
+                    let p = Petri.n_places net - 1 in
+                    net.Petri.initial.(p) <- 1;
+                    st
+                  end
+                  else st)
+                st insts_a
+            in
+            constrain (List.fold_left add_place stg_acc insts_b) rest)
+  in
+  match constrain stg pairs with
+  | Error _ as e -> e
+  | Ok stg' -> (
+      match Sg.of_stg stg' with
+      | Error e ->
+          Error (Format.asprintf "realized STG is not valid: %a" Sg.pp_error e)
+      | Ok sg' ->
+          if String.equal (Sg.signature sg') (Sg.signature reduced) then
+            Ok stg'
+          else Error "realized STG does not reproduce the reduced SG")

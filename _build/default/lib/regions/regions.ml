@@ -1,0 +1,260 @@
+type region = Sg.state list
+
+type crossing = Enters | Exits | Nocross | Violates
+
+(* Arcs of each label, as (source, target) pairs. *)
+let label_arcs sg =
+  let tbl = Hashtbl.create 16 in
+  for s = 0 to sg.Sg.n - 1 do
+    Array.iter
+      (fun (tr, s') ->
+        let lab = Stg.label sg.Sg.stg tr in
+        let prev = try Hashtbl.find tbl lab with Not_found -> [] in
+        Hashtbl.replace tbl lab ((s, s') :: prev))
+      sg.Sg.succ.(s)
+  done;
+  tbl
+
+let classify_arcs in_r arcs =
+  let enter = ref 0 and exit = ref 0 and cross_free = ref 0 in
+  List.iter
+    (fun (s, s') ->
+      match (in_r s, in_r s') with
+      | false, true -> incr enter
+      | true, false -> incr exit
+      | true, true | false, false -> incr cross_free)
+    arcs;
+  if !enter = 0 && !exit = 0 then Nocross
+  else if !exit = 0 && !cross_free = 0 then Enters
+  else if !enter = 0 && !cross_free = 0 then Exits
+  else Violates
+
+let crossing sg set lab =
+  let in_set = Array.make sg.Sg.n false in
+  List.iter (fun s -> in_set.(s) <- true) set;
+  let arcs =
+    match Hashtbl.find_opt (label_arcs sg) lab with
+    | Some arcs -> arcs
+    | None -> []
+  in
+  classify_arcs (fun s -> in_set.(s)) arcs
+
+let is_region sg set =
+  let in_set = Array.make sg.Sg.n false in
+  List.iter (fun s -> in_set.(s) <- true) set;
+  let arcs = label_arcs sg in
+  Hashtbl.fold
+    (fun _ arcs acc -> acc && classify_arcs (fun s -> in_set.(s)) arcs <> Violates)
+    arcs true
+
+(* Bitset helpers over Bytes. *)
+let bs_mem b s = Bytes.get b s = '\001'
+
+let bs_of_list n states =
+  let b = Bytes.make n '\000' in
+  List.iter (fun s -> Bytes.set b s '\001') states;
+  b
+
+let bs_to_list b =
+  let acc = ref [] in
+  for s = Bytes.length b - 1 downto 0 do
+    if bs_mem b s then acc := s :: !acc
+  done;
+  !acc
+
+let bs_count b =
+  let c = ref 0 in
+  Bytes.iter (fun ch -> if ch = '\001' then incr c) b;
+  !c
+
+exception Budget
+
+let explore_regions ?(budget = 50_000) sg =
+  let n = sg.Sg.n in
+  if n = 0 then invalid_arg "Regions: empty SG";
+  let arcs_tbl = label_arcs sg in
+  let labels = Hashtbl.fold (fun l _ acc -> l :: acc) arcs_tbl [] in
+  let memo = Hashtbl.create 1024 in
+  let found = Hashtbl.create 256 in
+  let explored = ref 0 in
+  let find_violation b =
+    List.find_opt
+      (fun lab ->
+        classify_arcs (fun s -> bs_mem b s) (Hashtbl.find arcs_tbl lab)
+        = Violates)
+      labels
+  in
+  (* The three repair directions for a violating label; no-op repairs are
+     dropped. *)
+  let repairs b lab =
+    let arcs = Hashtbl.find arcs_tbl lab in
+    let grow states =
+      let b' = Bytes.copy b in
+      let changed = ref false in
+      List.iter
+        (fun s ->
+          if not (bs_mem b' s) then begin
+            Bytes.set b' s '\001';
+            changed := true
+          end)
+        states;
+      if !changed then Some b' else None
+    in
+    let entering_sources =
+      List.filter_map
+        (fun (s, s') -> if bs_mem b s' && not (bs_mem b s) then Some s else None)
+        arcs
+    and exiting_targets =
+      List.filter_map
+        (fun (s, s') -> if bs_mem b s && not (bs_mem b s') then Some s' else None)
+        arcs
+    in
+    List.filter_map Fun.id
+      [
+        grow (entering_sources @ exiting_targets);  (* make lab not cross *)
+        grow (List.map snd arcs);  (* push towards "lab enters" *)
+        grow (List.map fst arcs);  (* push towards "lab exits" *)
+      ]
+  in
+  let rec dfs b =
+    let key = Bytes.to_string b in
+    if not (Hashtbl.mem memo key) then begin
+      Hashtbl.replace memo key ();
+      incr explored;
+      if !explored > budget then raise Budget;
+      if bs_count b < n then
+        match find_violation b with
+        | None -> Hashtbl.replace found key b
+        | Some lab -> List.iter dfs (repairs b lab)
+    end
+  in
+  let seed states = if states <> [] then dfs (bs_of_list n states) in
+  List.iter
+    (fun lab ->
+      let arcs = Hashtbl.find arcs_tbl lab in
+      seed (List.sort_uniq compare (List.map fst arcs));
+      seed (List.sort_uniq compare (List.map snd arcs)))
+    labels;
+  Hashtbl.fold (fun _ b acc -> b :: acc) found []
+
+let minimal_regions ?budget sg =
+  let all =
+    match explore_regions ?budget sg with
+    | regions -> regions
+    | exception Budget -> []
+  in
+  let subset b1 b2 =
+    let n = Bytes.length b1 in
+    let rec loop i =
+      i >= n || ((not (bs_mem b1 i)) || bs_mem b2 i) && loop (i + 1)
+    in
+    loop 0
+  in
+  let minimal b =
+    not
+      (List.exists (fun b' -> b' <> b && subset b' b) all)
+  in
+  List.filter minimal all |> List.map bs_to_list
+  |> List.sort compare
+
+let synthesize ?budget sg =
+  let stg = sg.Sg.stg in
+  let arcs_tbl = label_arcs sg in
+  let labels =
+    (* stable order: by first transition id carrying the label *)
+    Stg.all_labels stg
+    |> List.filter (fun l -> Hashtbl.mem arcs_tbl l)
+  in
+  let regions = minimal_regions ?budget sg in
+  if regions = [] then Error "no regions found (budget exceeded?)"
+  else begin
+    let region_arr = Array.of_list regions in
+    let in_region =
+      Array.map
+        (fun r ->
+          let b = Array.make sg.Sg.n false in
+          List.iter (fun s -> b.(s) <- true) r;
+          b)
+        region_arr
+    in
+    let cross r lab =
+      classify_arcs (fun s -> in_region.(r).(s)) (Hashtbl.find arcs_tbl lab)
+    in
+    (* Excitation closure: for each label, the intersection of its
+       pre-regions must equal its ER. *)
+    let er lab =
+      List.sort_uniq compare (List.map fst (Hashtbl.find arcs_tbl lab))
+    in
+    let pre_indices lab =
+      List.filter
+        (fun r -> cross r lab = Exits)
+        (List.init (Array.length region_arr) Fun.id)
+    in
+    let ec_failure =
+      List.find_opt
+        (fun lab ->
+          match pre_indices lab with
+          | [] -> true
+          | pre ->
+              let inter =
+                List.filter
+                  (fun s -> List.for_all (fun r -> in_region.(r).(s)) pre)
+                  (List.init sg.Sg.n Fun.id)
+              in
+              inter <> er lab)
+        labels
+    in
+    match ec_failure with
+    | Some lab ->
+        Error
+          (Printf.sprintf
+             "not excitation-closed for %s (label splitting not implemented)"
+             (Stg.label_name stg lab))
+    | None -> (
+        let b = Petri.Builder.create () in
+        let n_regions = Array.length region_arr in
+        let places =
+          Array.init n_regions (fun r ->
+              Petri.Builder.add_place b
+                ~name:(Printf.sprintf "r%d" r)
+                ~tokens:(if in_region.(r).(sg.Sg.initial) then 1 else 0))
+        in
+        let trans_of_label = Hashtbl.create 16 in
+        List.iter
+          (fun lab ->
+            let t =
+              Petri.Builder.add_trans b ~name:(Stg.label_name stg lab)
+            in
+            Hashtbl.replace trans_of_label lab t)
+          labels;
+        List.iter
+          (fun lab ->
+            let t = Hashtbl.find trans_of_label lab in
+            for r = 0 to n_regions - 1 do
+              match cross r lab with
+              | Exits -> Petri.Builder.arc_pt b places.(r) t
+              | Enters -> Petri.Builder.arc_tp b t places.(r)
+              | Nocross -> ()
+              | Violates -> assert false
+            done)
+          labels;
+        let kind_names k =
+          Array.to_list stg.Stg.signals
+          |> List.filter_map (fun s ->
+                 if s.Stg.Signal.kind = k then Some s.Stg.Signal.name else None)
+        in
+        let stg' =
+          Stg.of_net
+            ~inputs:(kind_names Stg.Signal.Input)
+            ~outputs:(kind_names Stg.Signal.Output)
+            ~internals:(kind_names Stg.Signal.Internal)
+            (Petri.Builder.build b)
+        in
+        match Sg.of_stg stg' with
+        | Error e ->
+            Error
+              (Format.asprintf "synthesized STG invalid: %a" Sg.pp_error e)
+        | Ok sg' ->
+            if String.equal (Sg.signature sg') (Sg.signature sg) then Ok stg'
+            else Error "synthesized STG does not reproduce the SG")
+  end

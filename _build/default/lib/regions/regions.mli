@@ -1,0 +1,43 @@
+(** Petri net synthesis from state graphs via the theory of regions —
+    the general mechanism behind the paper's step 5 ("generate a new STG for
+    the best reduced SG") and the core of the petrify tool the paper builds
+    on.
+
+    A {e region} is a set of states crossed uniformly by every event: each
+    event either always enters it, always exits it, or never crosses its
+    boundary.  Minimal regions become the places of the synthesized net;
+    an event's input places are the regions it exits, its output places the
+    regions it enters.  Synthesis succeeds when the SG is
+    {e excitation-closed}: for every event, the intersection of its minimal
+    pre-regions equals its excitation region.  Label splitting (needed for
+    SGs that are not excitation-closed) is not implemented — synthesis
+    returns an error instead. *)
+
+(** A region as a set of states (sorted). *)
+type region = Sg.state list
+
+(** How an event relates to a state set. *)
+type crossing =
+  | Enters  (** every arc of the event goes from outside to inside *)
+  | Exits  (** every arc goes from inside to outside *)
+  | Nocross  (** no arc crosses the boundary *)
+  | Violates  (** mixed — the set is not a region *)
+
+(** Classify one event (label) against a state set. *)
+val crossing : Sg.t -> Sg.state list -> Stg.label -> crossing
+
+(** [is_region sg set] — every label crosses uniformly. *)
+val is_region : Sg.t -> Sg.state list -> bool
+
+(** All minimal regions discovered by expanding the excitation and
+    switching regions of every label ([budget] bounds the number of sets
+    explored; default 50_000).
+    @raise Invalid_argument on an empty SG. *)
+val minimal_regions : ?budget:int -> Sg.t -> region list
+
+(** [synthesize sg] — build an STG (one transition per label, one place per
+    needed minimal region) whose state graph is label-isomorphic to [sg];
+    the result is verified by regenerating the SG and comparing canonical
+    signatures.  Errors: not excitation-closed, state separation fails, or
+    the verification mismatches. *)
+val synthesize : ?budget:int -> Sg.t -> (Stg.t, string) result

@@ -1,0 +1,150 @@
+type config = {
+  sg : Sg.t;
+  applied : (Stg.label * Stg.label) list;
+  cost : float;
+  logic_estimate : int;
+  csc_pairs : int;
+}
+
+type outcome = {
+  best : config;
+  initial : config;
+  explored : int;
+  levels : int;
+}
+
+type keep = (Stg.label * Stg.label) list
+
+let evaluate ?(w = 0.5) ?(csc_weight = 8.0) sg =
+  let logic_estimate = Logic.estimate sg in
+  let csc_pairs = List.length (Sg.csc_conflicts sg) in
+  let cost =
+    (w *. float_of_int logic_estimate)
+    +. ((1.0 -. w) *. csc_weight *. float_of_int csc_pairs)
+  in
+  { sg; applied = []; cost; logic_estimate; csc_pairs }
+
+let in_keep keep a b =
+  List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) keep
+
+(* Candidate reductions from one SG: FwdRed(e2, e1) for every concurrent
+   pair with e2 not an input, (e1,e2) not protected. *)
+let neighbours ?(keep_conc = []) cfg =
+  let sg = cfg.sg in
+  let stg = sg.Sg.stg in
+  let pairs = Sg.concurrent_pairs sg in
+  let is_input lab =
+    match lab with
+    | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
+    | Stg.Dummy _ -> false
+  in
+  (* A reduction of one pair can indirectly destroy the concurrency of a
+     protected pair; enforce Keep_Conc on the result, not just on the pair
+     being reduced. *)
+  let keeps_protected sg' =
+    List.for_all (fun (x, y) -> Sg.concurrent sg' x y) keep_conc
+  in
+  let try_red acc (a, b) =
+    if in_keep keep_conc a b then acc
+    else
+      let acc =
+        if is_input a then acc
+        else
+          match Reduction.fwd_red sg ~a ~b with
+          | Ok sg' when keeps_protected sg' -> (sg', (a, b)) :: acc
+          | Ok _ | Error _ -> acc
+      in
+      if is_input b then acc
+      else
+        match Reduction.fwd_red sg ~a:b ~b:a with
+        | Ok sg' when keeps_protected sg' -> (sg', (b, a)) :: acc
+        | Ok _ | Error _ -> acc
+  in
+  List.fold_left try_red [] pairs
+
+let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
+    ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle sg0 =
+  (* Performance constraint: when both [perf_delays] and [max_cycle] are
+     given, a configuration only survives if the timed replay of its SG has
+     a critical cycle within the bound (reduction can only lengthen the
+     cycle, so pruning early is sound for the frontier heuristic). *)
+  let meets_perf sg =
+    match (perf_delays, max_cycle) with
+    | Some delays, Some bound -> (
+        match Timing.analyze_sg ~delays sg with
+        | Ok r -> r.Timing.period <= bound
+        | Error _ -> false)
+    | (Some _ | None), _ -> true
+  in
+  let eval sg applied =
+    let c = evaluate ~w ~csc_weight sg in
+    { c with applied }
+  in
+  let initial = eval sg0 [] in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen (Sg.signature sg0) ();
+  let explored = ref 1 in
+  let best = ref (if meets_perf sg0 then Some initial else None) in
+  let frontier = ref [ initial ] in
+  let levels = ref 0 in
+  while !frontier <> [] && !levels < max_levels do
+    incr levels;
+    let expand acc cfg =
+      let next = neighbours ~keep_conc cfg in
+      List.fold_left
+        (fun acc (sg', step) ->
+          let key = Sg.signature sg' in
+          if Hashtbl.mem seen key then acc
+          else begin
+            Hashtbl.replace seen key ();
+            if not (meets_perf sg') then acc
+            else begin
+              incr explored;
+              let cfg' = eval sg' (cfg.applied @ [ step ]) in
+              (match !best with
+              | Some b when cfg'.cost >= b.cost -> ()
+              | Some _ | None -> best := Some cfg');
+              cfg' :: acc
+            end
+          end)
+        acc next
+    in
+    let nexts = List.fold_left expand [] !frontier in
+    let sorted = List.sort (fun c1 c2 -> compare c1.cost c2.cost) nexts in
+    frontier := List.filteri (fun i _ -> i < size_frontier) sorted
+  done;
+  let best = match !best with Some b -> b | None -> initial in
+  { best; initial; explored = !explored; levels = !levels }
+
+let apply_script sg script =
+  let step (sg, done_) (a, b) =
+    match Reduction.fwd_red sg ~a ~b with
+    | Ok sg' -> (sg', (a, b) :: done_)
+    | Error _ -> (sg, done_)
+  in
+  let sg, done_ = List.fold_left step (sg, []) script in
+  (sg, List.rev done_)
+
+let reduce_fully ?(w = 0.5) ?(keep_conc = []) sg0 =
+  let rec loop cfg =
+    match neighbours ~keep_conc cfg with
+    | [] -> cfg
+    | next ->
+        let scored =
+          List.map
+            (fun (sg', step) ->
+              let c = evaluate ~w sg' in
+              ({ c with applied = cfg.applied @ [ step ] }, step))
+            next
+        in
+        let best =
+          List.fold_left
+            (fun acc (c, _) ->
+              match acc with
+              | None -> Some c
+              | Some b -> if c.cost < b.cost then Some c else acc)
+            None scored
+        in
+        (match best with None -> cfg | Some b -> loop b)
+  in
+  loop { (evaluate ~w sg0) with applied = [] }

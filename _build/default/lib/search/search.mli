@@ -1,0 +1,62 @@
+(** The concurrency-reduction optimizer of Fig. 9: a frontier (beam) search
+    over state graphs.  At each level, every surviving SG spawns one
+    neighbour per applicable forward reduction; the [size_frontier] cheapest
+    neighbours survive.  The search is monotone (each level is strictly less
+    concurrent), hence terminating.
+
+    The cost function (Sec. 7) combines estimated logic complexity and CSC
+    conflicts: [cost = w * logic + (1 - w) * csc_pairs * csc_weight]. *)
+
+type config = {
+  sg : Sg.t;
+  applied : (Stg.label * Stg.label) list;
+      (** reductions applied, in order: [(a, b)] means FwdRed(a, b) *)
+  cost : float;
+  logic_estimate : int;
+  csc_pairs : int;
+}
+
+type outcome = {
+  best : config;  (** cheapest configuration found anywhere *)
+  initial : config;  (** the starting point, for before/after reporting *)
+  explored : int;  (** number of distinct SGs evaluated *)
+  levels : int;  (** depth of the search *)
+}
+
+(** Pairs of labels whose concurrency must be preserved (the designer's
+    [Keep_Conc] input).  Pairs are unordered. *)
+type keep = (Stg.label * Stg.label) list
+
+(** [optimize ?w ?size_frontier ?keep_conc ?max_levels sg] runs the search.
+    [w] (default 0.5) trades logic complexity ([w -> 1]) against CSC
+    conflicts ([w -> 0]).  [size_frontier] defaults to 4.
+    [max_levels] (default unlimited) bounds the depth.
+
+    When both [perf_delays] and [max_cycle] are given, configurations whose
+    timed replay ({!Timing.analyze_sg}) exceeds the cycle bound are
+    discarded — performance-constrained reshuffling.  When no configuration
+    meets the bound, [best] falls back to the initial one. *)
+val optimize :
+  ?w:float ->
+  ?size_frontier:int ->
+  ?keep_conc:keep ->
+  ?max_levels:int ->
+  ?csc_weight:float ->
+  ?perf_delays:(Stg.label -> int) ->
+  ?max_cycle:int ->
+  Sg.t ->
+  outcome
+
+(** Evaluate one SG with the search's cost function. *)
+val evaluate : ?w:float -> ?csc_weight:float -> Sg.t -> config
+
+(** Apply a fixed reduction script [(a, b), ...] in order, skipping invalid
+    steps; returns the final SG and the steps that actually applied.  Used
+    to reproduce specific rows of the paper's tables. *)
+val apply_script :
+  Sg.t -> (Stg.label * Stg.label) list -> Sg.t * (Stg.label * Stg.label) list
+
+(** [reduce_fully sg ~keep_conc] applies reductions greedily (cheapest
+    first) until no valid reduction remains — the paper's "full reduction"
+    end point. *)
+val reduce_fully : ?w:float -> ?keep_conc:keep -> Sg.t -> config

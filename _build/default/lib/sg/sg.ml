@@ -1,0 +1,554 @@
+type state = int
+
+type t = {
+  stg : Stg.t;
+  n : int;
+  markings : Petri.marking array;
+  codes : Bytes.t array;
+  succ : (Petri.trans * state) array array;
+  pred : (Petri.trans * state) array array;
+  initial : state;
+}
+
+type error = Inconsistent of string | Unbounded of int
+
+let pp_error ppf = function
+  | Inconsistent msg -> Format.fprintf ppf "inconsistent encoding: %s" msg
+  | Unbounded budget -> Format.fprintf ppf "state budget exceeded (%d)" budget
+
+module Mtbl = Hashtbl.Make (struct
+  type t = Petri.marking
+
+  let equal = Petri.Marking.equal
+  let hash = Petri.Marking.hash
+end)
+
+exception Inconsistency of string
+
+(* Infer initial values from per-state parities and enabledness, and derive
+   the binary codes; raises Inconsistency on contradiction. *)
+let encode stg parity succ =
+  let nsig = Stg.n_signals stg in
+  let n = Array.length parity in
+  (* Infer initial values from enabledness: a+ enabled in s means
+     v0 xor parity = 0; a- means 1. *)
+  let v0 = Array.make nsig (-1) in
+  let constrain sigid want s tr =
+    let v = want lxor parity.(s).(sigid) in
+    if v0.(sigid) = -1 then v0.(sigid) <- v
+    else if v0.(sigid) <> v then
+      raise
+        (Inconsistency
+           (Printf.sprintf "signal %s: conflicting initial value via %s"
+              (Stg.signal stg sigid).Stg.Signal.name
+              (Stg.trans_display stg tr)))
+  in
+  for s = 0 to n - 1 do
+    let check (tr, _) =
+      match Stg.label stg tr with
+      | Stg.Edge (sigid, Stg.Plus) -> constrain sigid 0 s tr
+      | Stg.Edge (sigid, Stg.Minus) -> constrain sigid 1 s tr
+      | Stg.Edge (_, Stg.Toggle) | Stg.Dummy _ -> ()
+    in
+    List.iter check succ.(s)
+  done;
+  let codes =
+    Array.init n (fun s ->
+        let bytes = Bytes.create nsig in
+        for sigid = 0 to nsig - 1 do
+          let v = (max v0.(sigid) 0) lxor parity.(s).(sigid) in
+          Bytes.set bytes sigid (if v = 1 then '1' else '0')
+        done;
+        bytes)
+  in
+  codes
+
+let index_arcs n succ_l =
+  let succ = Array.map Array.of_list succ_l in
+  let pred_l = Array.make n [] in
+  Array.iteri
+    (fun s arcs ->
+      Array.iter (fun (tr, s') -> pred_l.(s') <- (tr, s) :: pred_l.(s')) arcs)
+    succ;
+  (succ, Array.map Array.of_list pred_l)
+
+(* A state is a (marking, signal parity) pair: an STG with toggle events
+   (2-phase refinements) revisits markings with flipped signal values, which
+   are distinct SG states. *)
+let of_stg ?(budget = 200_000) stg =
+  let net = stg.Stg.net in
+  let nsig = Stg.n_signals stg in
+  let index = Hashtbl.create 1024 in
+  let key m par = (Array.to_list m, Bytes.to_string par) in
+  let markings_rev = ref [] and parities_rev = ref [] and count = ref 0 in
+  let intern m par =
+    let k = key m par in
+    match Hashtbl.find_opt index k with
+    | Some i -> (i, false)
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.replace index k i;
+        markings_rev := m :: !markings_rev;
+        parities_rev := par :: !parities_rev;
+        (i, true)
+  in
+  let start = Petri.initial_marking net in
+  let par0 = Bytes.make nsig '\000' in
+  let s0, _ = intern start par0 in
+  let queue = Queue.create () in
+  Queue.add (s0, start, par0) queue;
+  let arcs_rev = ref [] in
+  (try
+     while not (Queue.is_empty queue) do
+       let s, m, par = Queue.pop queue in
+       let expand tr =
+         let m' = Petri.fire net m tr in
+         let par' =
+           match Stg.label stg tr with
+           | Stg.Edge (sigid, _) ->
+               let p = Bytes.copy par in
+               Bytes.set p sigid
+                 (if Bytes.get par sigid = '\000' then '\001' else '\000');
+               p
+           | Stg.Dummy _ -> par
+         in
+         let s', fresh = intern m' par' in
+         if !count > budget then raise Exit;
+         arcs_rev := (s, tr, s') :: !arcs_rev;
+         if fresh then Queue.add (s', m', par') queue
+       in
+       List.iter expand (Petri.enabled_all net m)
+     done
+   with Exit -> ());
+  if !count > budget then Error (Unbounded budget)
+  else
+    let n = !count in
+    let markings = Array.of_list (List.rev !markings_rev) in
+    let parities =
+      List.rev !parities_rev
+      |> List.map (fun b ->
+             Array.init nsig (fun i -> Char.code (Bytes.get b i)))
+      |> Array.of_list
+    in
+    let succ_l = Array.make n [] in
+    List.iter
+      (fun (s, tr, s') -> succ_l.(s) <- (tr, s') :: succ_l.(s))
+      !arcs_rev;
+    Array.iteri (fun s l -> succ_l.(s) <- List.rev l) succ_l;
+    match encode stg parities succ_l with
+    | codes ->
+        let succ, pred = index_arcs n succ_l in
+        Ok { stg; n; markings; codes; succ; pred; initial = s0 }
+    | exception Inconsistency msg -> Error (Inconsistent msg)
+
+let make ~stg ~markings ~codes ~succ ~initial =
+  let n_old = Array.length markings in
+  (* BFS from initial over the given arcs to find reachable states. *)
+  let remap = Array.make n_old (-1) in
+  let order = ref [] and count = ref 0 in
+  let queue = Queue.create () in
+  remap.(initial) <- 0;
+  incr count;
+  order := [ initial ];
+  Queue.add initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let visit (_, s') =
+      if remap.(s') = -1 then begin
+        remap.(s') <- !count;
+        incr count;
+        order := s' :: !order;
+        Queue.add s' queue
+      end
+    in
+    List.iter visit succ.(s)
+  done;
+  let old_of_new = Array.of_list (List.rev !order) in
+  let n = !count in
+  let succ_l =
+    Array.init n (fun s_new ->
+        let s_old = old_of_new.(s_new) in
+        List.map (fun (tr, s') -> (tr, remap.(s'))) succ.(s_old))
+  in
+  let succ_arr, pred_arr = index_arcs n succ_l in
+  {
+    stg;
+    n;
+    markings = Array.map (fun s -> markings.(s)) old_of_new;
+    codes = Array.map (fun s -> codes.(s)) old_of_new;
+    succ = succ_arr;
+    pred = pred_arr;
+    initial = 0;
+  }
+
+let n_states sg = sg.n
+
+let code sg s = Bytes.to_string sg.codes.(s)
+
+let value sg s sigid =
+  if Bytes.get sg.codes.(s) sigid = '1' then 1 else 0
+
+let enabled_labels sg s =
+  let seen = ref [] in
+  Array.iter
+    (fun (tr, _) ->
+      let lab = Stg.label sg.stg tr in
+      if not (List.mem lab !seen) then seen := lab :: !seen)
+    sg.succ.(s);
+  List.rev !seen
+
+let code_display sg s =
+  let nsig = Stg.n_signals sg.stg in
+  let excited = Array.make nsig false in
+  Array.iter
+    (fun (tr, _) ->
+      match Stg.label sg.stg tr with
+      | Stg.Edge (sigid, _) -> excited.(sigid) <- true
+      | Stg.Dummy _ -> ())
+    sg.succ.(s);
+  let buf = Buffer.create (nsig * 2) in
+  for sigid = 0 to nsig - 1 do
+    Buffer.add_char buf (Bytes.get sg.codes.(s) sigid);
+    if excited.(sigid) then Buffer.add_char buf '*'
+  done;
+  Buffer.contents buf
+
+let succ_by_label sg s lab =
+  Array.to_list sg.succ.(s)
+  |> List.filter_map (fun (tr, s') ->
+         if Stg.label sg.stg tr = lab then Some s' else None)
+
+let is_deterministic sg =
+  let ok s =
+    let labs = Array.map (fun (tr, _) -> Stg.label sg.stg tr) sg.succ.(s) in
+    let sorted = List.sort compare (Array.to_list labs) in
+    let rec distinct = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a <> b && distinct rest
+    in
+    distinct sorted
+  in
+  let rec loop s = s >= sg.n || (ok s && loop (s + 1)) in
+  loop 0
+
+let is_commutative sg =
+  (* For every s -a-> s1 and s -b-> s2 (a<>b as labels), if s1 -b-> x and
+     s2 -a-> y then x = y. *)
+  let ok s =
+    let arcs = sg.succ.(s) in
+    let check (tr1, s1) (tr2, s2) =
+      let a = Stg.label sg.stg tr1 and b = Stg.label sg.stg tr2 in
+      a = b
+      ||
+      let xs = succ_by_label sg s1 b and ys = succ_by_label sg s2 a in
+      match (xs, ys) with
+      | [ x ], [ y ] -> x = y
+      | [], _ | _, [] -> true
+      | _ -> false
+    in
+    Array.for_all (fun a1 -> Array.for_all (fun a2 -> check a1 a2) arcs) arcs
+  in
+  let rec loop s = s >= sg.n || (ok s && loop (s + 1)) in
+  loop 0
+
+let label_is_controlled stg lab =
+  (* outputs and internal signals must be persistent everywhere *)
+  match lab with
+  | Stg.Edge (sigid, _) ->
+      not (Stg.Signal.is_input (Stg.signal stg sigid))
+  | Stg.Dummy _ -> false
+
+let persistency_violations sg =
+  let viols = ref [] in
+  for s = 0 to sg.n - 1 do
+    let enabled = enabled_labels sg s in
+    let after (tr, s') =
+      let by = Stg.label sg.stg tr in
+      let enabled' = enabled_labels sg s' in
+      let check lab =
+        if lab <> by && not (List.mem lab enabled') then begin
+          (* lab was disabled by firing [by]. Violation if lab is an
+             output/internal event, or lab is an input disabled by an
+             output/internal. *)
+          let lab_ctl = label_is_controlled sg.stg lab in
+          let by_ctl = label_is_controlled sg.stg by in
+          if lab_ctl || by_ctl then viols := (s, lab, by) :: !viols
+        end
+      in
+      List.iter check enabled
+    in
+    Array.iter after sg.succ.(s)
+  done;
+  List.rev !viols
+
+let is_output_persistent sg = persistency_violations sg = []
+
+let is_speed_independent sg =
+  is_deterministic sg && is_commutative sg && is_output_persistent sg
+
+let controlled_enabled sg s =
+  enabled_labels sg s |> List.filter (label_is_controlled sg.stg)
+  |> List.sort compare
+
+let group_by_code sg =
+  let tbl = Hashtbl.create sg.n in
+  for s = sg.n - 1 downto 0 do
+    let key = Bytes.to_string sg.codes.(s) in
+    let prev = try Hashtbl.find tbl key with Not_found -> [] in
+    Hashtbl.replace tbl key (s :: prev)
+  done;
+  tbl
+
+let usc_conflicts sg =
+  let tbl = group_by_code sg in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _ states ->
+      let rec pairs = function
+        | [] -> ()
+        | s :: rest ->
+            List.iter (fun s' -> out := (s, s') :: !out) rest;
+            pairs rest
+      in
+      pairs states)
+    tbl;
+  List.sort compare !out
+
+let csc_conflicts sg =
+  usc_conflicts sg
+  |> List.filter (fun (s, s') ->
+         controlled_enabled sg s <> controlled_enabled sg s')
+
+let has_csc sg = csc_conflicts sg = []
+
+let er sg lab =
+  let acc = ref [] in
+  for s = sg.n - 1 downto 0 do
+    if
+      Array.exists (fun (tr, _) -> Stg.label sg.stg tr = lab) sg.succ.(s)
+    then acc := s :: !acc
+  done;
+  !acc
+
+let er_components sg lab =
+  let members = er sg lab in
+  let in_er = Array.make sg.n false in
+  List.iter (fun s -> in_er.(s) <- true) members;
+  let comp = Array.make sg.n (-1) in
+  let next_comp = ref 0 in
+  let bfs start =
+    let c = !next_comp in
+    incr next_comp;
+    let queue = Queue.create () in
+    comp.(start) <- c;
+    Queue.add start queue;
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      let visit s' =
+        if in_er.(s') && comp.(s') = -1 then begin
+          comp.(s') <- c;
+          Queue.add s' queue
+        end
+      in
+      Array.iter (fun (_, s') -> visit s') sg.succ.(s);
+      Array.iter (fun (_, s') -> visit s') sg.pred.(s)
+    done
+  in
+  List.iter (fun s -> if comp.(s) = -1 then bfs s) members;
+  let buckets = Array.make !next_comp [] in
+  List.iter (fun s -> buckets.(comp.(s)) <- s :: buckets.(comp.(s)))
+    (List.rev members);
+  Array.to_list (Array.map List.rev buckets)
+
+let concurrent sg a b =
+  if a = b then false
+  else
+    let rec scan s =
+      if s >= sg.n then false
+      else
+        let s2s = succ_by_label sg s a and s3s = succ_by_label sg s b in
+        let diamond s2 s3 =
+          let s4a = succ_by_label sg s2 b and s4b = succ_by_label sg s3 a in
+          List.exists (fun x -> List.mem x s4b) s4a
+        in
+        if List.exists (fun s2 -> List.exists (diamond s2) s3s) s2s then true
+        else scan (s + 1)
+    in
+    scan 0
+
+let concurrent_pairs sg =
+  let labels = Stg.all_labels sg.stg in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc b -> if concurrent sg a b then (a, b) :: acc else acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  pairs [] labels
+
+let deadlocks sg =
+  let acc = ref [] in
+  for s = sg.n - 1 downto 0 do
+    if Array.length sg.succ.(s) = 0 then acc := s :: !acc
+  done;
+  !acc
+
+let states sg = List.init sg.n Fun.id
+
+let signature sg =
+  (* Canonical BFS renumbering with deterministic tie-breaking on
+     (label-name, old target id is NOT canonical — instead order children by
+     label then by discovery).  For deterministic SGs this yields a canonical
+     form; for nondeterministic ones it is still a sound dedup key (may
+     distinguish isomorphic graphs, never conflates distinct ones). *)
+  let buf = Buffer.create (sg.n * 8) in
+  let remap = Array.make sg.n (-1) in
+  let queue = Queue.create () in
+  remap.(sg.initial) <- 0;
+  let count = ref 1 in
+  Queue.add sg.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let arcs =
+      Array.to_list sg.succ.(s)
+      |> List.map (fun (tr, s') -> (Stg.label_name sg.stg (Stg.label sg.stg tr), s'))
+      |> List.sort compare
+    in
+    let emit (name, s') =
+      if remap.(s') = -1 then begin
+        remap.(s') <- !count;
+        incr count;
+        Queue.add s' queue
+      end;
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>';
+      Buffer.add_string buf (string_of_int remap.(s'));
+      Buffer.add_char buf ';'
+    in
+    Buffer.add_string buf (string_of_int remap.(s));
+    Buffer.add_char buf ':';
+    List.iter emit arcs;
+    Buffer.add_char buf '|'
+  done;
+  Buffer.contents buf
+
+let pp ppf sg =
+  Format.fprintf ppf "SG: %d states, %d arcs, initial %s" sg.n
+    (Array.fold_left (fun acc a -> acc + Array.length a) 0 sg.succ)
+    (code_display sg sg.initial)
+
+let pp_full ppf sg =
+  Format.fprintf ppf "@[<v>%a@," pp sg;
+  for s = 0 to sg.n - 1 do
+    let arcs =
+      Array.to_list sg.succ.(s)
+      |> List.map (fun (tr, s') ->
+             Printf.sprintf "%s->%d" (Stg.trans_display sg.stg tr) s')
+      |> String.concat " "
+    in
+    Format.fprintf ppf "  s%d [%s] %s@," s (code_display sg s) arcs
+  done;
+  Format.fprintf ppf "@]"
+
+(* Weak bisimulation: strong bisimulation over the tau-saturated system.
+   States of both SGs are combined into one index space; labels are
+   compared by name. *)
+let weak_bisimilar sg1 sg2 =
+  let n1 = sg1.n and n2 = sg2.n in
+  let n = n1 + n2 in
+  let arcs_of i =
+    if i < n1 then
+      Array.to_list sg1.succ.(i)
+      |> List.map (fun (tr, s') -> (Stg.label sg1.stg tr, sg1.stg, s'))
+    else
+      Array.to_list sg2.succ.(i - n1)
+      |> List.map (fun (tr, s') -> (Stg.label sg2.stg tr, sg2.stg, s' + n1))
+  in
+  let is_tau = function Stg.Dummy _ -> true | Stg.Edge _ -> false in
+  let name_of stg lab = Stg.label_name stg lab in
+  (* Reflexive-transitive tau closure. *)
+  let tau_closure = Array.make n [] in
+  for s = 0 to n - 1 do
+    let seen = Hashtbl.create 8 in
+    let rec dfs v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        List.iter
+          (fun (lab, _, s') -> if is_tau lab then dfs s')
+          (arcs_of v)
+      end
+    in
+    dfs s;
+    tau_closure.(s) <- Hashtbl.fold (fun v () acc -> v :: acc) seen []
+  done;
+  (* Weak successors: tau* a tau* per visible label name. *)
+  let weak_succ = Array.make n [] in
+  for s = 0 to n - 1 do
+    let acc = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (lab, stg, s') ->
+            if not (is_tau lab) then
+              List.iter
+                (fun s'' -> Hashtbl.replace acc (name_of stg lab, s'') ())
+                tau_closure.(s'))
+          (arcs_of v))
+      tau_closure.(s);
+    weak_succ.(s) <- Hashtbl.fold (fun k () l -> k :: l) acc []
+  done;
+  (* Partition refinement by signatures. *)
+  let block = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    let signature s =
+      let visible =
+        weak_succ.(s)
+        |> List.map (fun (lab, s') -> (lab, block.(s')))
+        |> List.sort_uniq compare
+      in
+      let taus =
+        tau_closure.(s) |> List.map (fun v -> block.(v))
+        |> List.sort_uniq compare
+      in
+      (visible, taus)
+    in
+    let tbl = Hashtbl.create n in
+    let next = Array.make n 0 in
+    let count = ref 0 in
+    for s = 0 to n - 1 do
+      let key = (block.(s), signature s) in
+      match Hashtbl.find_opt tbl key with
+      | Some b -> next.(s) <- b
+      | None ->
+          Hashtbl.replace tbl key !count;
+          next.(s) <- !count;
+          incr count
+    done;
+    changed := next <> block;
+    Array.blit next 0 block 0 n
+  done;
+  block.(sg1.initial) = block.(sg2.initial + n1)
+
+let to_dot sg =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph sg {\n  rankdir=TB;\n";
+  for s = 0 to sg.n - 1 do
+    add "  s%d [shape=%s label=\"%s\"];\n" s
+      (if s = sg.initial then "doublecircle" else "circle")
+      (code_display sg s)
+  done;
+  for s = 0 to sg.n - 1 do
+    Array.iter
+      (fun (tr, s') ->
+        add "  s%d -> s%d [label=\"%s\"];\n" s s' (Stg.trans_display sg.stg tr))
+      sg.succ.(s)
+  done;
+  add "}\n";
+  Buffer.contents buf

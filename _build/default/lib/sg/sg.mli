@@ -1,0 +1,132 @@
+(** State graphs: the reachability graph of an STG with a binary state
+    encoding, plus the implementability analyses of the paper (Sec. 2):
+    consistency, speed-independence (determinism, commutativity,
+    output-persistency), Complete State Coding, excitation regions and the
+    concurrency relation. *)
+
+type state = int
+
+type t = private {
+  stg : Stg.t;
+  n : int;  (** number of states *)
+  markings : Petri.marking array;
+  codes : Bytes.t array;
+      (** [codes.(s)] — one byte per signal, ['0'] or ['1']. *)
+  succ : (Petri.trans * state) array array;
+  pred : (Petri.trans * state) array array;
+  initial : state;
+}
+
+type error =
+  | Inconsistent of string  (** encoding cannot be made consistent *)
+  | Unbounded of int  (** state budget exceeded *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [of_stg ?budget stg] generates the SG by exhaustive token-game
+    exploration and computes a consistent binary encoding (initial signal
+    values are inferred from transition enabledness; unconstrained signals
+    default to 0). *)
+val of_stg : ?budget:int -> Stg.t -> (t, error) result
+
+(** Rebuild an SG from explicit components, pruning states unreachable from
+    [initial] and renumbering.  Used by concurrency reduction. *)
+val make :
+  stg:Stg.t ->
+  markings:Petri.marking array ->
+  codes:Bytes.t array ->
+  succ:(Petri.trans * state) list array ->
+  initial:state ->
+  t
+
+val n_states : t -> int
+val code : t -> state -> string
+
+(** Code with an asterisk after every excited signal, e.g. ["1*0*"] — the
+    display format used in the paper's Fig. 1. *)
+val code_display : t -> state -> string
+
+(** Value of a signal in a state. *)
+val value : t -> state -> int -> int
+
+(** Labels on outgoing arcs of a state (deduplicated, in first-seen order). *)
+val enabled_labels : t -> state -> Stg.label list
+
+(** [succ_by_label sg s lab] — all successors of [s] through arcs whose
+    transition carries [lab]. *)
+val succ_by_label : t -> state -> Stg.label -> state list
+
+(** {2 Implementability analyses} *)
+
+(** No state has two outgoing arcs with the same label. *)
+val is_deterministic : t -> bool
+
+(** Whenever both interleavings of two events are possible from a state they
+    reach the same state. *)
+val is_commutative : t -> bool
+
+(** Violations of output-persistency: [(s, disabled, by)] — label [disabled]
+    (an output/internal event, or an input disabled by an output) was enabled
+    in [s] and is no longer enabled after firing [by]. *)
+val persistency_violations : t -> (state * Stg.label * Stg.label) list
+
+val is_output_persistent : t -> bool
+
+(** Determinism + commutativity + output persistency. *)
+val is_speed_independent : t -> bool
+
+(** Pairs of distinct states with equal codes but different enabled
+    output/internal label sets (CSC conflicts). *)
+val csc_conflicts : t -> (state * state) list
+
+(** Pairs of distinct states with equal codes (USC conflicts). *)
+val usc_conflicts : t -> (state * state) list
+
+val has_csc : t -> bool
+
+(** {2 Excitation regions and concurrency} *)
+
+(** All states in which some transition labelled [lab] is enabled. *)
+val er : t -> Stg.label -> state list
+
+(** Connected components of the ER under SG arcs (each component is one
+    excitation region in the paper's maximal-connected-set sense). *)
+val er_components : t -> Stg.label -> state list list
+
+(** [concurrent sg a b] — a diamond [s1 -a-> s2, s1 -b-> s3, s2 -b-> s4,
+    s3 -a-> s4] exists (Def. 2.1). *)
+val concurrent : t -> Stg.label -> Stg.label -> bool
+
+(** All unordered concurrent label pairs. *)
+val concurrent_pairs : t -> (Stg.label * Stg.label) list
+
+(** {2 Utilities} *)
+
+(** Deadlock states (no outgoing arcs). *)
+val deadlocks : t -> state list
+
+(** Canonical structural signature at the label level (BFS renumbering,
+    arcs named by their labels): two SGs with equal signatures are
+    label-bisimilar.  Used for deduplicating explored SGs during search and
+    for verifying STG realizations. *)
+val signature : t -> string
+
+(** States as a list in id order. *)
+val states : t -> state list
+
+val pp : Format.formatter -> t -> unit
+
+(** Dump in the paper's style: one line per state: code, then arcs. *)
+val pp_full : Format.formatter -> t -> unit
+
+(** [weak_bisimilar sg1 sg2] — weak bisimulation equivalence treating dummy
+    events as silent: computed as strong bisimulation on the
+    tau-saturated transition systems (labels matched by name, so the two
+    SGs may come from different STGs).  Used to verify dummy-contraction
+    and other silent-step-preserving transformations. *)
+val weak_bisimilar : t -> t -> bool
+
+(** Graphviz dot rendering of the state graph: nodes show the code display
+    of Fig. 1 (asterisks on excited signals), the initial state is
+    doubly circled, arcs carry event names. *)
+val to_dot : t -> string

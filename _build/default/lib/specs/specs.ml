@@ -1,0 +1,246 @@
+let fig1_text =
+  {|# Fig. 1: simple controller between an asynchronous memory and a processor
+.inputs Req
+.outputs Ack
+.graph
+Req+ Ack+
+Ack+ Req-
+Req- Ack- Req+
+Ack- Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+|}
+
+let fig1 () = Stg.Io.parse fig1_text
+
+open Expansion
+
+let lr = spec (Loop (Seq [ Recv "l"; Send "r"; Recv "r"; Send "l" ]))
+
+let fig6 =
+  spec (Loop (Seq [ Rise "c"; Send "a"; Active "b"; Recv "a"; Fall "c" ]))
+
+let fig8_text =
+  {|# Fig. 8: choice + concurrency fragment for FwdRed, closed into a cycle.
+# After c, event a runs concurrently with a free choice between firing b
+# immediately and reaching (another instance of) b through d;e — so the
+# backward reachability of FwdRed(a,b) also sweeps d and e.
+.outputs a b c d e
+.graph
+c~ p_a p_ch
+p_a a~
+p_ch b~/1 d~
+d~ e~
+e~ b~/2
+a~ p_adone
+b~/1 p_done
+b~/2 p_done
+p_adone c~
+p_done c~
+.marking { p_adone p_done }
+.end
+|}
+
+let fig8 () = Stg.Io.parse fig8_text
+
+let par =
+  spec
+    (Loop
+       (Seq
+          [
+            Recv "a";
+            Par [ Seq [ Send "b"; Recv "b" ]; Seq [ Send "c"; Recv "c" ] ];
+            Send "a";
+          ]))
+
+let mmu =
+  spec
+    (Loop
+       (Seq
+          [
+            Recv "b";
+            Send "l";
+            Recv "l";
+            Send "m";
+            Recv "m";
+            Send "r";
+            Recv "r";
+            Send "b";
+          ]))
+
+let lab stg name =
+  let found = ref None in
+  Array.iter
+    (fun l ->
+      if !found = None && String.equal (Stg.label_name stg l) name then
+        found := Some l)
+    stg.Stg.labels;
+  match !found with
+  | Some l -> l
+  | None -> invalid_arg ("Specs: no label " ^ name)
+
+let lr_qmodule_script stg =
+  [ (lab stg "lo+", lab stg "ro-"); (lab stg "lo+", lab stg "ri-") ]
+
+let lr_full_reduction_script stg =
+  [ (lab stg "lo-", lab stg "ri-"); (lab stg "ro-", lab stg "li-") ]
+
+let lr_pairwise_rows stg =
+  [
+    ("li || ri", (lab stg "li-", lab stg "ri-"));
+    ("li || ro", (lab stg "li-", lab stg "ro-"));
+    ("lo || ri", (lab stg "lo-", lab stg "ri-"));
+    ("lo || ro", (lab stg "lo-", lab stg "ro-"));
+  ]
+
+let mmu_keep3_rows stg =
+  let reset chan = lab stg (chan ^ "o-") in
+  let keep3 (x, y, z) =
+    [ (reset x, reset y); (reset x, reset z); (reset y, reset z) ]
+  in
+  [
+    ("|| (b,l,r)", keep3 ("b", "l", "r"));
+    ("|| (b,m,r)", keep3 ("b", "m", "r"));
+    ("|| (b,l,m)", keep3 ("b", "l", "m"));
+    ("|| (l,m,r)", keep3 ("l", "m", "r"));
+  ]
+
+module Corpus = struct
+  (* Reconstructions of classic controller shapes (names echo the standard
+     STG benchmark suite; the netlists are rebuilt from their published
+     descriptions, not copied). *)
+
+  let sources =
+    [
+      ( "vme-read",
+        (* VME bus controller, read cycle: device select (dsr) drives the
+           local bus handshake (lds/ldtack), data (d) and the bus
+           acknowledge (dtack). *)
+        {|
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack-
+d- lds-
+lds- ldtack-
+ldtack- lds+
+dtack- dsr+
+.marking { <ldtack-,lds+> <dtack-,dsr+> }
+.end
+|} );
+      ( "buffer",
+        {|
+.inputs in
+.outputs out
+.graph
+in+ out+
+out+ in-
+in- out-
+out- in+
+.marking { <out-,in+> }
+.end
+|} );
+      ( "inverter",
+        {|
+.inputs in
+.outputs out
+.graph
+in- out+
+out+ in+
+in+ out-
+out- in-
+.marking { <out-,in-> }
+.end
+|} );
+      ( "selector",
+        (* Input free choice: the environment picks channel a or channel b;
+           the controller answers on the matching output. *)
+        {|
+.inputs a b
+.outputs x y
+.graph
+p a+ b+
+a+ x+
+x+ a-
+a- x-
+x- p
+b+ y+
+y+ b-
+b- y-
+y- p
+.marking { p }
+.end
+|} );
+      ( "sequencer",
+        (* One request fans out to two sub-handshakes executed in order. *)
+        {|
+.inputs r d1 d2
+.outputs a s1 s2
+.graph
+r+ s1+
+s1+ d1+
+d1+ s2+
+s2+ d2+
+d2+ a+
+a+ r-
+r- s1-
+s1- d1-
+d1- s2-
+s2- d2-
+d2- a-
+a- r+
+.marking { <a-,r+> }
+.end
+|} );
+      ( "toggle2",
+        (* Two-phase alternator: each input event produces one of two
+           outputs, alternating. *)
+        {|
+.inputs t
+.outputs o1 o2
+.graph
+t~/1 o1~
+o1~ t~/2
+t~/2 o2~
+o2~ t~/1
+.marking { <o2~,t~/1> }
+.end
+|} );
+      ( "micropipeline",
+        (* The two-stage pipeline of examples/micropipeline.ml with the
+           latch releases already expanded at maximum concurrency. *)
+        {|
+.inputs rin aout
+.outputs ain rout lt1 lt2
+.graph
+rin+ lt1+
+lt1+ lt2+
+lt2+ ain+
+ain+ rin-
+rin- ain-
+ain- rin+
+lt2+ rout+
+rout+ aout+
+aout+ rout-
+rout- aout-
+aout- rout+
+rout- lt2+
+lt1+ lt1-
+lt1- lt1+
+lt2+ lt2-
+lt2- lt2+
+.marking { <ain-,rin+> <aout-,rout+> <rout-,lt2+> <lt1-,lt1+> <lt2-,lt2+> }
+.end
+|} );
+    ]
+
+  let all () = List.map (fun (name, text) -> (name, Stg.Io.parse text)) sources
+
+  let find name = Stg.Io.parse (List.assoc name sources)
+end

@@ -1,0 +1,60 @@
+(** The specifications used in the paper's figures and experiments, shared
+    by the examples, the benchmark harness and the test suite. *)
+
+(** Fig. 1: the simple memory/processor controller, as a [.g]-format STG
+    (two signals: input [Req], output [Ack]; [Req+ || Ack-]). *)
+val fig1_text : string
+
+val fig1 : unit -> Stg.t
+
+(** Fig. 2: the LR-process — a passive port [l], an active port [r],
+    control transferred left to right: [*\[ l? ; r! ; r? ; l! \]]. *)
+val lr : Expansion.spec
+
+(** Fig. 6.a: channel [a], partially specified signal [b], full signal [c]:
+    [*\[ a? ; b ; c+ ; a! ; c- \]] (with [b]'s falling edge unspecified). *)
+val fig6 : Expansion.spec
+
+(** Fig. 8: SG fragment with choice and concurrency used to illustrate
+    FwdRed, as an STG: [c] chooses between a branch firing [a || (d; e)]
+    and a branch firing [b]; built so that [ER(a)] spans both branches. *)
+val fig8_text : string
+
+val fig8 : unit -> Stg.t
+
+(** Fig. 10: the PAR component of Tangram:
+    [*\[ a? ; (b! ; b? || c! ; c?) ; a! \]]. *)
+val par : Expansion.spec
+
+(** The MMU controller case study (reconstructed — see DESIGN.md): a
+    bus-side passive channel [b] sequencing three active sub-handshakes
+    [l], [m], [r]: [*\[ b? ; l! ; l? ; m! ; m? ; r! ; r? ; b! \]]. *)
+val mmu : Expansion.spec
+
+(** Reduction script for the LR Q-module / S-element reshuffling
+    ([lo+] waits for the full right-side return-to-zero). *)
+val lr_qmodule_script : Stg.t -> (Stg.label * Stg.label) list
+
+(** Reduction script for the LR full reduction (everything sequential:
+    two wires). *)
+val lr_full_reduction_script : Stg.t -> (Stg.label * Stg.label) list
+
+(** The four pairwise rows of Table 1: name and protected pair. *)
+val lr_pairwise_rows : Stg.t -> (string * (Stg.label * Stg.label)) list
+
+(** The [|| (x,y,z)] rows of Table 2: name and the three mutually protected
+    reset events. *)
+val mmu_keep3_rows :
+  Stg.t -> (string * (Stg.label * Stg.label) list) list
+
+(** A corpus of classic-style asynchronous controller STGs (reconstructions
+    in the spirit of the standard STG benchmark suite — see DESIGN.md),
+    used by the benchmark sweep and the tests. *)
+module Corpus : sig
+  (** [(name, stg)] for every corpus entry, parsing the embedded [.g]
+      sources. *)
+  val all : unit -> (string * Stg.t) list
+
+  (** One entry by name.  @raise Not_found. *)
+  val find : string -> Stg.t
+end

@@ -1,0 +1,504 @@
+module Signal = struct
+  type kind = Input | Output | Internal | Dummy_kind
+
+  type t = { name : string; kind : kind }
+
+  let is_input s = s.kind = Input
+
+  let pp_kind ppf = function
+    | Input -> Format.pp_print_string ppf "input"
+    | Output -> Format.pp_print_string ppf "output"
+    | Internal -> Format.pp_print_string ppf "internal"
+    | Dummy_kind -> Format.pp_print_string ppf "dummy"
+
+  let pp ppf s = Format.fprintf ppf "%s:%a" s.name pp_kind s.kind
+end
+
+type dir = Plus | Minus | Toggle
+
+type label = Edge of int * dir | Dummy of string
+
+type t = {
+  net : Petri.t;
+  signals : Signal.t array;
+  labels : label array;
+}
+
+let n_signals stg = Array.length stg.signals
+let signal stg i = stg.signals.(i)
+
+let signal_of_name stg name =
+  let rec loop i =
+    if i >= Array.length stg.signals then raise Not_found
+    else if String.equal stg.signals.(i).Signal.name name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let label stg t = stg.labels.(t)
+
+let dir_suffix = function Plus -> "+" | Minus -> "-" | Toggle -> "~"
+
+let label_name stg = function
+  | Edge (s, d) -> stg.signals.(s).Signal.name ^ dir_suffix d
+  | Dummy name -> name
+
+let instances stg lab =
+  let acc = ref [] in
+  for t = Array.length stg.labels - 1 downto 0 do
+    if stg.labels.(t) = lab then acc := t :: !acc
+  done;
+  !acc
+
+let trans_display stg t =
+  let lab = stg.labels.(t) in
+  match instances stg lab with
+  | [ _ ] -> label_name stg lab
+  | insts ->
+      let rec index i = function
+        | [] -> assert false
+        | x :: rest -> if x = t then i else index (i + 1) rest
+      in
+      Printf.sprintf "%s/%d" (label_name stg lab) (index 1 insts)
+
+let is_input_trans stg t =
+  match stg.labels.(t) with
+  | Edge (s, _) -> Signal.is_input stg.signals.(s)
+  | Dummy _ -> false
+
+let all_labels stg =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun lab ->
+      if not (Hashtbl.mem seen lab) then begin
+        Hashtbl.replace seen lab ();
+        acc := lab :: !acc
+      end)
+    stg.labels;
+  List.rev !acc
+
+(* "a+", "b-/2", "c~" -> Some (name, dir); otherwise None. *)
+let parse_label_name name =
+  let base =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let n = String.length base in
+  if n < 2 then None
+  else
+    let body = String.sub base 0 (n - 1) in
+    match base.[n - 1] with
+    | '+' -> Some (body, Plus)
+    | '-' -> Some (body, Minus)
+    | '~' -> Some (body, Toggle)
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> None
+    | _ -> None
+
+let of_net ~inputs ~outputs ?(internals = []) net =
+  let mk kind name = { Signal.name; kind } in
+  let declared =
+    List.map (mk Signal.Input) inputs
+    @ List.map (mk Signal.Output) outputs
+    @ List.map (mk Signal.Internal) internals
+  in
+  let signals = Array.of_list declared in
+  let find_signal name =
+    let rec loop i =
+      if i >= Array.length signals then None
+      else if String.equal signals.(i).Signal.name name then Some i
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  let label_of t =
+    let name = Petri.trans_name net t in
+    match parse_label_name name with
+    | Some (base, d) -> (
+        match find_signal base with
+        | Some s -> Edge (s, d)
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Stg.of_net: transition %s refers to undeclared signal %s"
+                 name base))
+    | None -> Dummy name
+  in
+  let labels = Array.init (Petri.n_trans net) label_of in
+  { net; signals; labels }
+
+let add_causality stg t1 t2 =
+  let b = Petri.Builder.create () in
+  let net = stg.net in
+  for p = 0 to Petri.n_places net - 1 do
+    ignore
+      (Petri.Builder.add_place b ~name:(Petri.place_name net p)
+         ~tokens:net.Petri.initial.(p))
+  done;
+  for t = 0 to Petri.n_trans net - 1 do
+    ignore (Petri.Builder.add_trans b ~name:(Petri.trans_name net t))
+  done;
+  for t = 0 to Petri.n_trans net - 1 do
+    Array.iter (fun p -> Petri.Builder.arc_pt b p t) net.Petri.pre.(t);
+    Array.iter (fun p -> Petri.Builder.arc_tp b t p) net.Petri.post.(t)
+  done;
+  let name =
+    Printf.sprintf "<%s,%s>" (Petri.trans_name net t1) (Petri.trans_name net t2)
+  in
+  ignore (Petri.Builder.connect b t1 t2 ~name);
+  { stg with net = Petri.Builder.build b }
+
+(* Graphviz rendering, exposed as Io.to_dot. *)
+let io_to_dot stg =
+  let net = stg.net in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph stg {\n  rankdir=TB;\n";
+  for t = 0 to Petri.n_trans net - 1 do
+    let shade =
+      match stg.labels.(t) with
+      | Edge (s, _) when Signal.is_input stg.signals.(s) ->
+          " style=filled fillcolor=lightgrey"
+      | Edge _ | Dummy _ -> ""
+    in
+    add "  t%d [shape=box label=\"%s\"%s];\n" t
+      (Petri.trans_name net t) shade
+  done;
+  let is_implicit p =
+    Array.length net.Petri.producers.(p) = 1
+    && Array.length net.Petri.consumers.(p) = 1
+    && net.Petri.initial.(p) = 0
+  in
+  for p = 0 to Petri.n_places net - 1 do
+    if is_implicit p then
+      add "  t%d -> t%d;\n" net.Petri.producers.(p).(0)
+        net.Petri.consumers.(p).(0)
+    else begin
+      let label =
+        if net.Petri.initial.(p) > 0 then
+          String.concat "" (List.init net.Petri.initial.(p) (fun _ -> "&bull;"))
+        else ""
+      in
+      add "  p%d [shape=circle label=\"%s\" xlabel=\"%s\"];\n" p label
+        (Petri.place_name net p);
+      Array.iter (fun t -> add "  t%d -> p%d;\n" t p) net.Petri.producers.(p);
+      Array.iter (fun t -> add "  p%d -> t%d;\n" p t) net.Petri.consumers.(p)
+    end
+  done;
+  add "}\n";
+  Buffer.contents buf
+
+module Io = struct
+  exception Parse_error of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+  type node = Trans of string | Place of string
+
+  let tokenize line =
+    line |> String.split_on_char ' '
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+
+  (* Strip comments, join nothing special; returns significant lines. *)
+  let lines_of_string text =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line)
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+
+  (* Marking tokens look like: p1 <a+,b-> <a+/1,b-/2>; split on spaces was
+     already done but "<a, b>" could contain spaces; we re-lex the interior
+     of braces as a whole string. *)
+  let parse_marking_tokens s =
+    let s = String.trim s in
+    let s =
+      let n = String.length s in
+      if n >= 2 && s.[0] = '{' && s.[n - 1] = '}' then String.sub s 1 (n - 2)
+      else fail "marking must be enclosed in braces: %s" s
+    in
+    (* Split on whitespace but keep <...> units together. *)
+    let out = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+    in
+    String.iter
+      (fun c ->
+        match c with
+        | '<' ->
+            incr depth;
+            Buffer.add_char buf c
+        | '>' ->
+            decr depth;
+            Buffer.add_char buf c
+        | ' ' | '\t' -> if !depth > 0 then Buffer.add_char buf c else flush ()
+        | c -> Buffer.add_char buf c)
+      s;
+    flush ();
+    List.rev !out
+
+  let parse text =
+    let lines = lines_of_string text in
+    let inputs = ref [] and outputs = ref [] and internals = ref [] in
+    let dummies = ref [] in
+    let graph_lines = ref [] and marking = ref None in
+    let in_graph = ref false in
+    let handle line =
+      let toks = tokenize line in
+      match toks with
+      | [] -> ()
+      | keyword :: rest when String.length keyword > 0 && keyword.[0] = '.' ->
+          in_graph := false;
+          (match keyword with
+          | ".model" | ".name" | ".end" | ".outputsignals" -> ()
+          | ".inputs" -> inputs := !inputs @ rest
+          | ".outputs" -> outputs := !outputs @ rest
+          | ".internal" -> internals := !internals @ rest
+          | ".dummy" -> dummies := !dummies @ rest
+          | ".graph" -> in_graph := true
+          | ".marking" ->
+              let idx =
+                match String.index_opt line '{' with
+                | Some i -> i
+                | None -> fail ".marking without '{'"
+              in
+              marking :=
+                Some
+                  (parse_marking_tokens
+                     (String.sub line idx (String.length line - idx)))
+          | ".capacity" | ".slowenv" -> ()
+          | other -> fail "unknown directive %s" other)
+      | _ ->
+          if !in_graph then graph_lines := toks :: !graph_lines
+          else fail "unexpected line outside .graph: %s" line
+    in
+    List.iter handle lines;
+    let graph_lines = List.rev !graph_lines in
+    let declared_signals = !inputs @ !outputs @ !internals in
+    let is_trans_name name =
+      match parse_label_name name with
+      | Some (base, _) -> List.mem base declared_signals
+      | None -> List.mem name !dummies
+    in
+    let node_of name = if is_trans_name name then Trans name else Place name in
+    (* Collect transitions and explicit places in order of appearance. *)
+    let trans_tbl = Hashtbl.create 64 and trans_order = ref [] in
+    let place_tbl = Hashtbl.create 64 and place_order = ref [] in
+    let note name =
+      match node_of name with
+      | Trans n ->
+          if not (Hashtbl.mem trans_tbl n) then begin
+            Hashtbl.replace trans_tbl n ();
+            trans_order := n :: !trans_order
+          end
+      | Place n ->
+          if not (Hashtbl.mem place_tbl n) then begin
+            Hashtbl.replace place_tbl n ();
+            place_order := n :: !place_order
+          end
+    in
+    List.iter (List.iter note) graph_lines;
+    let b = Petri.Builder.create () in
+    let trans_ids = Hashtbl.create 64 in
+    List.iter
+      (fun n -> Hashtbl.replace trans_ids n (Petri.Builder.add_trans b ~name:n))
+      (List.rev !trans_order);
+    let place_ids = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        Hashtbl.replace place_ids n
+          (Petri.Builder.add_place b ~name:n ~tokens:0))
+      (List.rev !place_order);
+    (* Implicit places between transition pairs. *)
+    let implicit = Hashtbl.create 64 in
+    let implicit_place t1 t2 =
+      let key = (t1, t2) in
+      match Hashtbl.find_opt implicit key with
+      | Some p -> p
+      | None ->
+          let name = Printf.sprintf "<%s,%s>" t1 t2 in
+          let p = Petri.Builder.add_place b ~name ~tokens:0 in
+          Hashtbl.replace implicit key p;
+          p
+    in
+    let add_arc src dst =
+      match (node_of src, node_of dst) with
+      | Trans t1, Trans t2 ->
+          let p = implicit_place t1 t2 in
+          Petri.Builder.arc_tp b (Hashtbl.find trans_ids t1) p;
+          Petri.Builder.arc_pt b p (Hashtbl.find trans_ids t2)
+      | Trans t1, Place p2 ->
+          Petri.Builder.arc_tp b (Hashtbl.find trans_ids t1)
+            (Hashtbl.find place_ids p2)
+      | Place p1, Trans t2 ->
+          Petri.Builder.arc_pt b (Hashtbl.find place_ids p1)
+            (Hashtbl.find trans_ids t2)
+      | Place p1, Place p2 -> fail "place-to-place arc %s -> %s" p1 p2
+    in
+    List.iter
+      (function
+        | [] -> ()
+        | src :: dsts -> List.iter (add_arc src) dsts)
+      graph_lines;
+    (* Initial marking: remember tokens to patch; Builder stores tokens at
+       creation, so rebuild via a token map applied before build.  Simplest:
+       build first, then patch the (private) initial array is not allowed —
+       instead collect marking first.  We already created places with 0
+       tokens; patch by rebuilding would be wasteful, so instead we compute
+       token counts and mutate through Builder: not supported.  We therefore
+       post-process below using the fact that [Petri.t.initial] is reachable
+       through the record.  To keep [Petri.t] truly immutable we instead add
+       tokens before build: redo creation order is complex, so we allow one
+       controlled mutation here via Obj?  No — we simply build the net, then
+       construct a second builder copying everything with tokens.  Cheap. *)
+    let net0 = Petri.Builder.build b in
+    let tokens = Array.make (Petri.n_places net0) 0 in
+    let resolve_marking_token tok =
+      if String.length tok > 1 && tok.[0] = '<' then begin
+        (* <t1,t2> *)
+        let inner = String.sub tok 1 (String.length tok - 2) in
+        match String.split_on_char ',' inner with
+        | [ t1; t2 ] ->
+            let t1 = String.trim t1 and t2 = String.trim t2 in
+            (match Hashtbl.find_opt implicit (t1, t2) with
+            | Some p -> tokens.(p) <- tokens.(p) + 1
+            | None -> fail "marking names unknown implicit place <%s,%s>" t1 t2)
+        | _ -> fail "bad implicit place token %s" tok
+      end
+      else begin
+        (* possibly p=k *)
+        let name, k =
+          match String.index_opt tok '=' with
+          | Some i ->
+              ( String.sub tok 0 i,
+                int_of_string
+                  (String.sub tok (i + 1) (String.length tok - i - 1)) )
+          | None -> (tok, 1)
+        in
+        match Hashtbl.find_opt place_ids name with
+        | Some p -> tokens.(p) <- tokens.(p) + k
+        | None -> fail "marking names unknown place %s" name
+      end
+    in
+    (match !marking with
+    | None -> fail "missing .marking"
+    | Some toks -> List.iter resolve_marking_token toks);
+    let b2 = Petri.Builder.create () in
+    for p = 0 to Petri.n_places net0 - 1 do
+      ignore
+        (Petri.Builder.add_place b2
+           ~name:(Petri.place_name net0 p)
+           ~tokens:tokens.(p))
+    done;
+    for t = 0 to Petri.n_trans net0 - 1 do
+      ignore (Petri.Builder.add_trans b2 ~name:(Petri.trans_name net0 t))
+    done;
+    for t = 0 to Petri.n_trans net0 - 1 do
+      Array.iter (fun p -> Petri.Builder.arc_pt b2 p t) net0.Petri.pre.(t);
+      Array.iter (fun p -> Petri.Builder.arc_tp b2 t p) net0.Petri.post.(t)
+    done;
+    let net = Petri.Builder.build b2 in
+    of_net ~inputs:!inputs ~outputs:!outputs ~internals:!internals net
+
+  let to_dot = io_to_dot
+
+  let parse_file path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    parse text
+
+  let print stg =
+    let net = stg.net in
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let by_kind k =
+      let acc = ref [] in
+      Array.iter
+        (fun s -> if s.Signal.kind = k then acc := s.Signal.name :: !acc)
+        stg.signals;
+      List.rev !acc
+    in
+    let dummies =
+      let acc = ref [] in
+      Array.iteri
+        (fun t lab ->
+          match lab with
+          | Dummy name ->
+              ignore t;
+              if not (List.mem name !acc) then acc := name :: !acc
+          | Edge _ -> ())
+        stg.labels;
+      List.rev !acc
+    in
+    let section name items =
+      if items <> [] then add ".%s %s\n" name (String.concat " " items)
+    in
+    section "inputs" (by_kind Signal.Input);
+    section "outputs" (by_kind Signal.Output);
+    section "internal" (by_kind Signal.Internal);
+    section "dummy" dummies;
+    add ".graph\n";
+    (* A place is implicit iff it has exactly one producer and one consumer
+       and a name we can elide. *)
+    let is_implicit p =
+      Array.length net.Petri.producers.(p) = 1
+      && Array.length net.Petri.consumers.(p) = 1
+    in
+    let tname t = Petri.trans_name net t in
+    for t = 0 to Petri.n_trans net - 1 do
+      let targets = ref [] in
+      Array.iter
+        (fun p ->
+          if is_implicit p then
+            Array.iter
+              (fun t2 -> targets := tname t2 :: !targets)
+              net.Petri.consumers.(p)
+          else targets := Petri.place_name net p :: !targets)
+        net.Petri.post.(t);
+      if !targets <> [] then
+        add "%s %s\n" (tname t) (String.concat " " (List.rev !targets))
+    done;
+    for p = 0 to Petri.n_places net - 1 do
+      if not (is_implicit p) then begin
+        let targets =
+          Array.to_list (Array.map tname net.Petri.consumers.(p))
+        in
+        if targets <> [] then
+          add "%s %s\n" (Petri.place_name net p) (String.concat " " targets)
+      end
+    done;
+    let marking_tokens = ref [] in
+    for p = Petri.n_places net - 1 downto 0 do
+      let k = net.Petri.initial.(p) in
+      if k > 0 then begin
+        let base =
+          if is_implicit p then
+            Printf.sprintf "<%s,%s>"
+              (tname net.Petri.producers.(p).(0))
+              (tname net.Petri.consumers.(p).(0))
+          else Petri.place_name net p
+        in
+        let tok = if k = 1 then base else Printf.sprintf "%s=%d" base k in
+        marking_tokens := tok :: !marking_tokens
+      end
+    done;
+    add ".marking { %s }\n" (String.concat " " !marking_tokens);
+    add ".end\n";
+    Buffer.contents buf
+end
+
+let pp ppf stg =
+  Format.fprintf ppf "@[<v>signals: %s@,%a@]"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (Format.asprintf "%a" Signal.pp) stg.signals)))
+    Petri.pp stg.net

@@ -1,0 +1,95 @@
+type result = { reachable_count : int; iterations : int; bdd_size : int }
+
+(* The image of set S under transition t:
+   take S constrained to "all preset places marked", forget the values of
+   every changed place, then force presets to 0 and postsets to 1
+   (places in both pre and post keep their token: forced to 1). *)
+let image man net t s =
+  let pre = Array.to_list net.Petri.pre.(t) in
+  let post = Array.to_list net.Petri.post.(t) in
+  let enabled =
+    List.fold_left (fun acc p -> Bdd.conj man acc (Bdd.var man p)) s pre
+  in
+  if Bdd.is_fls enabled then Bdd.fls
+  else begin
+    let changed = List.sort_uniq compare (pre @ post) in
+    let forgotten = Bdd.exists man changed enabled in
+    List.fold_left
+      (fun acc p ->
+        let lit =
+          if List.mem p post then Bdd.var man p
+          else Bdd.neg man (Bdd.var man p)
+        in
+        Bdd.conj man acc lit)
+      forgotten changed
+  end
+
+let initial_set man net =
+  let m0 = Petri.initial_marking net in
+  Array.iteri
+    (fun p k ->
+      if k > 1 then
+        invalid_arg "Symbolic: the initial marking is not safe"
+      else ignore p)
+    m0;
+  let s = ref Bdd.tru in
+  Array.iteri
+    (fun p k ->
+      let lit =
+        if k = 1 then Bdd.var man p else Bdd.neg man (Bdd.var man p)
+      in
+      s := Bdd.conj man !s lit)
+    m0;
+  !s
+
+let fixpoint net =
+  if Petri.n_places net > 62 then
+    invalid_arg "Symbolic: more than 62 places";
+  let man = Bdd.manager () in
+  let reach = ref (initial_set man net) in
+  let frontier = ref !reach in
+  let iterations = ref 0 in
+  while not (Bdd.is_fls !frontier) do
+    incr iterations;
+    let img = ref Bdd.fls in
+    for t = 0 to Petri.n_trans net - 1 do
+      img := Bdd.disj man !img (image man net t !frontier)
+    done;
+    let fresh = Bdd.conj man !img (Bdd.neg man !reach) in
+    reach := Bdd.disj man !reach fresh;
+    frontier := fresh
+  done;
+  (man, !reach, !iterations)
+
+let analyze net =
+  let man, reach, iterations = fixpoint net in
+  {
+    reachable_count = Bdd.sat_count man ~nvars:(Petri.n_places net) reach;
+    iterations;
+    bdd_size = Bdd.size reach;
+  }
+
+let marking_reachable net m =
+  let _, reach, _ = fixpoint net in
+  let assignment = ref 0 in
+  Array.iteri (fun p k -> if k > 0 then assignment := !assignment lor (1 lsl p)) m;
+  Bdd.eval reach !assignment
+
+let has_deadlock net =
+  let man, reach, _ = fixpoint net in
+  (* enabled(t) as a set over markings; deadlocked = reach /\ no transition
+     enabled *)
+  let some_enabled =
+    List.fold_left
+      (fun acc t ->
+        let en =
+          Array.fold_left
+            (fun acc p -> Bdd.conj man acc (Bdd.var man p))
+            Bdd.tru net.Petri.pre.(t)
+        in
+        Bdd.disj man acc en)
+      Bdd.fls
+      (List.init (Petri.n_trans net) Fun.id)
+  in
+  let deadlocked = Bdd.conj man reach (Bdd.neg man some_enabled) in
+  not (Bdd.is_fls deadlocked)

@@ -1,0 +1,34 @@
+(** Symbolic (BDD-based) reachability analysis of safe Petri nets — the
+    way petrify traverses state spaces too large for explicit enumeration.
+
+    A marking of a safe net is a boolean vector over places; each
+    transition's effect is a partial function on those vectors (all preset
+    places 1 before, presets 0 and postsets 1 after).  The reachable set is
+    the least fixpoint of the image under all transitions, computed
+    entirely on BDDs.
+
+    Used as a cross-check for the explicit engines ({!Petri.reachable},
+    {!Sg.of_stg}) and as the scalable path for larger nets. *)
+
+type result = {
+  reachable_count : int;  (** number of reachable markings *)
+  iterations : int;  (** breadth-first image steps to the fixpoint *)
+  bdd_size : int;  (** nodes of the final reachable-set BDD *)
+}
+
+(** [reachable_count net] — symbolic reachability from the initial marking.
+    @raise Invalid_argument if the initial marking is not safe (a place
+    with more than one token) or the net has more than 62 places.
+
+    Unsafe nets are not detected structurally: a net that accumulates
+    tokens violates the boolean encoding silently, so callers should check
+    {!Petri.is_safe} first when in doubt (the function asserts safety of
+    every transition's effect on the encoded sets it actually visits). *)
+val analyze : Petri.t -> result
+
+(** Is a given marking reachable?  (Runs {!analyze} internally.) *)
+val marking_reachable : Petri.t -> Petri.marking -> bool
+
+(** Symbolic deadlock check: some reachable marking enables no
+    transition. *)
+val has_deadlock : Petri.t -> bool

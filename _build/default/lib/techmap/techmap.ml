@@ -1,0 +1,157 @@
+type cell = Wire | Inv | Nand2 | Nor2 | And2 | Or2 | Aoi21 | Oai21 | Celem
+
+let cell_name = function
+  | Wire -> "WIRE"
+  | Inv -> "INV"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+  | Celem -> "C2"
+
+let cell_area = function
+  | Wire -> 0
+  | Inv -> 8
+  | Nand2 | Nor2 -> 12
+  | And2 | Or2 -> 16
+  | Aoi21 | Oai21 -> 20
+  | Celem -> 32
+
+type mapping = { area : int; cells : (cell * int) list }
+
+(* ------------------------------------------------------------------ *)
+(* Cone trees.                                                         *)
+
+type tree =
+  | Const of bool
+  | Lit of int * bool  (** variable, positive? *)
+  | And of tree * tree
+  | Or of tree * tree
+
+let tree_of_cover ~nvars cover =
+  let tree_of_cube c =
+    let lits =
+      List.filter_map
+        (fun v ->
+          if Boolf.Cube.bound c v then Some (Lit (v, Boolf.Cube.polarity c v))
+          else None)
+        (List.init nvars Fun.id)
+    in
+    match lits with
+    | [] -> Const true
+    | first :: rest -> List.fold_left (fun acc l -> And (acc, l)) first rest
+  in
+  match cover with
+  | [] -> Const false
+  | first :: rest ->
+      List.fold_left
+        (fun acc c -> Or (acc, tree_of_cube c))
+        (tree_of_cube first) rest
+
+(* ------------------------------------------------------------------ *)
+(* Dual-polarity dynamic programming.                                  *)
+
+type choice = { cost : int; used : cell list }
+
+let best a b = if a.cost <= b.cost then a else b
+
+let pick = List.fold_left best { cost = max_int; used = [] }
+
+let add cellk parts =
+  {
+    cost = List.fold_left (fun acc p -> acc + p.cost) (cell_area cellk) parts;
+    used = cellk :: List.concat_map (fun p -> p.used) parts;
+  }
+
+let zero = { cost = 0; used = [] }
+
+(* Returns (positive, negative) best choices. *)
+let rec solve = function
+  | Const _ -> (zero, zero)
+  | Lit (_, positive) ->
+      let direct = zero and inverted = add Inv [ zero ] in
+      if positive then (direct, inverted) else (inverted, direct)
+  | And (a, b) as node ->
+      let ap, an = solve a and bp, bn = solve b in
+      let pos = pick [ add And2 [ ap; bp ]; add Nor2 [ an; bn ] ] in
+      let neg =
+        pick
+          ([ add Nand2 [ ap; bp ]; add Or2 [ an; bn ] ] @ oai21 node)
+      in
+      close pos neg
+  | Or (a, b) as node ->
+      let ap, an = solve a and bp, bn = solve b in
+      let pos = pick [ add Or2 [ ap; bp ]; add Nand2 [ an; bn ] ] in
+      let neg =
+        pick ([ add Nor2 [ ap; bp ]; add And2 [ an; bn ] ] @ aoi21 node)
+      in
+      close pos neg
+
+(* not (a.b + c) *)
+and aoi21 = function
+  | Or (And (a, b), c) | Or (c, And (a, b)) ->
+      let ap, _ = solve a and bp, _ = solve b and cp, _ = solve c in
+      [ add Aoi21 [ ap; bp; cp ] ]
+  | Or _ | And _ | Lit _ | Const _ -> []
+
+(* not ((a+b).c) *)
+and oai21 = function
+  | And (Or (a, b), c) | And (c, Or (a, b)) ->
+      let ap, _ = solve a and bp, _ = solve b and cp, _ = solve c in
+      [ add Oai21 [ ap; bp; cp ] ]
+  | And _ | Or _ | Lit _ | Const _ -> []
+
+(* Close under an output inverter, both directions. *)
+and close pos neg =
+  let pos = best pos (add Inv [ neg ]) in
+  let neg = best neg (add Inv [ pos ]) in
+  (pos, neg)
+
+let tally used =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c -> Hashtbl.replace tbl c (1 + try Hashtbl.find tbl c with Not_found -> 0))
+    used;
+  Hashtbl.fold (fun c k acc -> (c, k) :: acc) tbl []
+  |> List.sort compare
+
+let mapping_of_choice choice =
+  { area = choice.cost; cells = tally choice.used }
+
+let map_cover ~nvars cover =
+  let pos, _ = solve (tree_of_cover ~nvars cover) in
+  mapping_of_choice pos
+
+let map_impl (impl : Logic.impl) =
+  if Logic.conflicts impl > 0 then
+    invalid_arg "Techmap.map_impl: CSC conflicts remain";
+  let nvars = Stg.n_signals impl.Logic.sg.Sg.stg in
+  let per_driver d =
+    match d with
+    | Logic.Sop cover ->
+        let pos, _ = solve (tree_of_cover ~nvars cover) in
+        pos
+    | Logic.Gc { set; reset } ->
+        let sp, _ = solve (tree_of_cover ~nvars set) in
+        let rp, _ = solve (tree_of_cover ~nvars reset) in
+        add Celem [ sp; rp ]
+  in
+  let total =
+    List.fold_left
+      (fun acc si ->
+        let c = per_driver si.Logic.driver in
+        { cost = acc.cost + c.cost; used = c.used @ acc.used })
+      zero impl.Logic.per_signal
+  in
+  mapping_of_choice total
+
+let render m =
+  let cells =
+    m.cells
+    |> List.filter (fun (c, _) -> c <> Wire)
+    |> List.map (fun (c, k) -> Printf.sprintf "%s x%d" (cell_name c) k)
+  in
+  Printf.sprintf "area=%d%s" m.area
+    (match cells with [] -> " (wires only)" | cs -> " " ^ String.concat " " cs)

@@ -1,0 +1,41 @@
+(** Technology mapping: covering the synthesized logic with a small
+    standard-cell library by dynamic programming over each signal's
+    fanout-free cone, considering both output polarities (the classic
+    tree-covering formulation).  The paper's final areas come from exactly
+    this step ("decomposing the circuit into 2-input gates and mapping the
+    network onto a gate library"); the naive decomposition of {!Circuit}
+    is the upper bound this mapper improves on. *)
+
+type cell =
+  | Wire  (** zero-cost connection *)
+  | Inv
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Aoi21  (** [not (a and b or c)] *)
+  | Oai21  (** [not ((a or b) and c)] *)
+  | Celem  (** two-input C-element with set/reset semantics *)
+
+val cell_name : cell -> string
+
+(** Area of one cell in the same units as {!Logic}: INV 8, NAND2/NOR2 12,
+    AND2/OR2 16, AOI21/OAI21 20, C-element 32. *)
+val cell_area : cell -> int
+
+type mapping = {
+  area : int;  (** total mapped area *)
+  cells : (cell * int) list;  (** cell usage counts, zero-count cells omitted *)
+}
+
+(** Map one SOP cover (a single cone).  [nvars] bounds the variable
+    indices. *)
+val map_cover : nvars:int -> Boolf.Cover.t -> mapping
+
+(** Map a whole implementation: every signal's driver, C-elements
+    included.
+    @raise Invalid_argument when CSC conflicts remain. *)
+val map_impl : Logic.impl -> mapping
+
+(** Render as ["area=… INV×3 NAND2×2 …"]. *)
+val render : mapping -> string

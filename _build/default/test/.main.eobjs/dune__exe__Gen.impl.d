@@ -1,0 +1,1 @@
+test/gen.ml: Array Expansion Format List Petri Printf Random Sg Stg

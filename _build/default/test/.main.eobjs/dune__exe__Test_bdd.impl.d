@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Boolf Expansion Gen List Petri QCheck QCheck_alcotest Specs Stg Symbolic

@@ -1,0 +1,1 @@
+test/test_boolf.ml: Alcotest Boolf Bytes Fun List Printf QCheck QCheck_alcotest String

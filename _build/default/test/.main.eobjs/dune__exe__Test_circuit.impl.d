@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Boolf Circuit Csc Expansion Format Gen List Logic QCheck QCheck_alcotest Sg Specs Stg String

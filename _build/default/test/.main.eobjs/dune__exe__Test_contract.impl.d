@@ -1,0 +1,1 @@
+test/test_contract.ml: Alcotest Contract Expansion Gen List Petri QCheck QCheck_alcotest Sg Specs Stg

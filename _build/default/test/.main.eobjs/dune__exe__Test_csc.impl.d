@@ -1,0 +1,1 @@
+test/test_csc.ml: Alcotest Array Csc Expansion Format Gen List Petri QCheck QCheck_alcotest Random Sg Specs Stg String

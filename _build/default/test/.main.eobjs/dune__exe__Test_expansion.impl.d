@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Array Contract Core Expansion Gen List Parse Petri QCheck QCheck_alcotest Sg Specs Stg

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Core Expansion Gen List Sg Specs Stg String

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Boolf Circuit Core Csc Expansion Gen List Logic QCheck QCheck_alcotest Reduction Search Specs Stg String

@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Array Gen List Petri QCheck QCheck_alcotest Specs Stg

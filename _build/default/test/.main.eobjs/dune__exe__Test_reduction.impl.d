@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Core Expansion Format Gen List QCheck QCheck_alcotest Reduction Result Search Sg Specs Stg String

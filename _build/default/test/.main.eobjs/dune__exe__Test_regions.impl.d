@@ -1,0 +1,1 @@
+test/test_regions.ml: Alcotest Core Expansion Gen List QCheck QCheck_alcotest Regions Search Sg Specs Stg String

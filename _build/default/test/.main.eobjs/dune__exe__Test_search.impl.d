@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Core Expansion Gen List QCheck QCheck_alcotest Reduction Result Search Sg Specs Stg Timing

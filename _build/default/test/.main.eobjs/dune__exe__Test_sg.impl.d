@@ -1,0 +1,1 @@
+test/test_sg.ml: Alcotest Array Core Expansion Gen List Printf QCheck QCheck_alcotest Reduction Sg Specs Stg String

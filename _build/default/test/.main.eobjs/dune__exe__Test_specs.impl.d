@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Core Expansion Format Gen List Petri Search Sg Specs Stg String

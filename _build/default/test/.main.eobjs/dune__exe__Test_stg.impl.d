@@ -1,0 +1,1 @@
+test/test_stg.ml: Alcotest Array Expansion Gen List Petri QCheck QCheck_alcotest Sg Specs Stg String

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Boolf Csc Expansion Gen List Logic QCheck QCheck_alcotest Specs Stg String Techmap

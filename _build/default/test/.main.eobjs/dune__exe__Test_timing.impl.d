@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Expansion Gen List Petri Printf QCheck QCheck_alcotest Reduction Search Specs Stg String Timing

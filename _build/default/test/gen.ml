@@ -1,0 +1,92 @@
+(* Random STG generators for property-based tests.
+
+   All generators produce live, consistent, speed-independent STGs by
+   construction, so properties can assert on the strongest invariants. *)
+
+let signal_name i = Printf.sprintf "s%d" i
+
+(* A sequential ring over [n] signals (n >= 1):
+   s0+ -> s1+ -> ... -> s(n-1)+ -> s0- -> ... -> s(n-1)- -> s0+.
+   The first [inputs] signals are inputs, the rest outputs. *)
+let ring ~inputs n =
+  assert (n >= 1 && inputs <= n);
+  let b = Petri.Builder.create () in
+  let trans =
+    List.init n (fun i -> Petri.Builder.add_trans b ~name:(signal_name i ^ "+"))
+    @ List.init n (fun i ->
+          Petri.Builder.add_trans b ~name:(signal_name i ^ "-"))
+  in
+  let arr = Array.of_list trans in
+  let m = Array.length arr in
+  for k = 0 to m - 1 do
+    let p =
+      Petri.Builder.add_place b
+        ~name:(Printf.sprintf "p%d" k)
+        ~tokens:(if k = m - 1 then 1 else 0)
+    in
+    Petri.Builder.arc_tp b arr.(k) p |> ignore;
+    Petri.Builder.arc_pt b p arr.((k + 1) mod m)
+  done;
+  let names = List.init n signal_name in
+  let ins = List.filteri (fun i _ -> i < inputs) names in
+  let outs = List.filteri (fun i _ -> i >= inputs) names in
+  Stg.of_net ~inputs:ins ~outputs:outs (Petri.Builder.build b)
+
+(* A fork-join: trigger t+ forks [width] parallel branches (one signal
+   each, rising then falling), joined by j+; then t-, j- complete the
+   cycle.  t is an input, everything else an output. *)
+let fork_join width =
+  assert (width >= 1);
+  let b = Petri.Builder.create () in
+  let t_plus = Petri.Builder.add_trans b ~name:"t+" in
+  let t_minus = Petri.Builder.add_trans b ~name:"t-" in
+  let j_plus = Petri.Builder.add_trans b ~name:"j+" in
+  let j_minus = Petri.Builder.add_trans b ~name:"j-" in
+  let branch i =
+    let plus = Petri.Builder.add_trans b ~name:(Printf.sprintf "w%d+" i) in
+    let minus = Petri.Builder.add_trans b ~name:(Printf.sprintf "w%d-" i) in
+    ignore (Petri.Builder.connect b t_plus plus ~name:(Printf.sprintf "f%d" i));
+    ignore
+      (Petri.Builder.connect b plus minus ~name:(Printf.sprintf "pm%d" i));
+    ignore (Petri.Builder.connect b minus j_plus ~name:(Printf.sprintf "g%d" i))
+  in
+  for i = 0 to width - 1 do
+    branch i
+  done;
+  ignore (Petri.Builder.connect b j_plus t_minus ~name:"jt");
+  ignore (Petri.Builder.connect b t_minus j_minus ~name:"tj");
+  let home = Petri.Builder.add_place b ~name:"home" ~tokens:1 in
+  Petri.Builder.arc_tp b j_minus home;
+  Petri.Builder.arc_pt b home t_plus;
+  let outs =
+    "j" :: List.init width (fun i -> Printf.sprintf "w%d" i)
+  in
+  Stg.of_net ~inputs:[ "t" ] ~outputs:outs (Petri.Builder.build b)
+
+(* Random process specs for the expansion compiler: a loop over a sequence
+   of channel handshakes, with optional inner parallelism.  Seeded, hence
+   deterministic per size. *)
+let random_spec seed =
+  let st = Random.State.make [| seed |] in
+  let n_chans = 1 + Random.State.int st 3 in
+  let chan i = Printf.sprintf "c%d" i in
+  let handshake i =
+    if Random.State.bool st then
+      Expansion.Seq [ Expansion.Recv (chan i); Expansion.Send (chan i) ]
+    else Expansion.Seq [ Expansion.Send (chan i); Expansion.Recv (chan i) ]
+  in
+  let body =
+    if n_chans >= 2 && Random.State.bool st then
+      Expansion.Seq
+        [
+          handshake 0;
+          Expansion.Par (List.init (n_chans - 1) (fun i -> handshake (i + 1)));
+        ]
+    else Expansion.Seq (List.init n_chans handshake)
+  in
+  Expansion.spec (Expansion.Loop body)
+
+let sg_exn stg =
+  match Sg.of_stg stg with
+  | Ok sg -> sg
+  | Error e -> failwith (Format.asprintf "gen: %a" Sg.pp_error e)

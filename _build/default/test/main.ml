@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "async_repro"
+    [
+      ("petri", Test_petri.suite);
+      ("stg", Test_stg.suite);
+      ("sg", Test_sg.suite);
+      ("boolf", Test_boolf.suite);
+      ("logic", Test_logic.suite);
+      ("timing", Test_timing.suite);
+      ("reduction", Test_reduction.suite);
+      ("expansion", Test_expansion.suite);
+      ("csc", Test_csc.suite);
+      ("regions", Test_regions.suite);
+      ("search", Test_search.suite);
+      ("flow", Test_flow.suite);
+      ("circuit", Test_circuit.suite);
+      ("contract", Test_contract.suite);
+      ("specs", Test_specs.suite);
+      ("bdd", Test_bdd.suite);
+      ("techmap", Test_techmap.suite);
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the boolean cube/cover algebra and the two-level minimizer. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let cube = Boolf.Cube.of_string
+
+let test_cube_strings () =
+  check_str "roundtrip" "10-" (Boolf.Cube.to_string ~n:3 (cube "10-"));
+  check_str "all dc" "---" (Boolf.Cube.to_string ~n:3 Boolf.Cube.top);
+  check_int "literals" 2 (Boolf.Cube.literals (cube "10-"));
+  check_int "top literals" 0 (Boolf.Cube.literals Boolf.Cube.top);
+  Alcotest.check_raises "bad char" (Invalid_argument "Boolf.Cube.of_string: x")
+    (fun () -> ignore (cube "1x"))
+
+let test_covers_minterm () =
+  let c = cube "1-0" in
+  check "covers 100" true (Boolf.Cube.covers c 0b001);
+  (* variable 0 is the leftmost character, bit 0 *)
+  check "covers 110" true (Boolf.Cube.covers c 0b011);
+  check "rejects 101" false (Boolf.Cube.covers c 0b101);
+  check "rejects 000" false (Boolf.Cube.covers c 0b000)
+
+let test_contains () =
+  check "larger contains smaller" true
+    (Boolf.Cube.contains (cube "1--") (cube "1-0"));
+  check "not contains" false (Boolf.Cube.contains (cube "1-0") (cube "1--"));
+  check "reflexive" true (Boolf.Cube.contains (cube "01-") (cube "01-"));
+  check "top contains all" true (Boolf.Cube.contains Boolf.Cube.top (cube "010"))
+
+let test_inter () =
+  (match Boolf.Cube.inter (cube "1--") (cube "-0-") with
+  | Some c -> check_str "intersection" "10-" (Boolf.Cube.to_string ~n:3 c)
+  | None -> Alcotest.fail "expected intersection");
+  check "disjoint" true (Boolf.Cube.inter (cube "1--") (cube "0--") = None)
+
+let test_free_bound () =
+  let c = cube "10-" in
+  check "bound 0" true (Boolf.Cube.bound c 0);
+  check "bound 2" false (Boolf.Cube.bound c 2);
+  check "polarity" true (Boolf.Cube.polarity c 0 && not (Boolf.Cube.polarity c 1));
+  let c' = Boolf.Cube.free c 0 in
+  check_str "freed" "-0-" (Boolf.Cube.to_string ~n:3 c')
+
+let test_render () =
+  let names = [| "a"; "b"; "c" |] in
+  check_str "product" "a b'" (Boolf.Cube.render ~names (cube "10-"));
+  check_str "constant one" "1" (Boolf.Cube.render ~names Boolf.Cube.top);
+  check_str "sum" "a b' + c"
+    (Boolf.Cover.render ~names [ cube "10-"; cube "--1" ]);
+  check_str "empty cover" "0" (Boolf.Cover.render ~names [])
+
+let test_minimize_simple () =
+  (* f = a (variable 0) over 2 variables; full truth table given. *)
+  let on = [ 0b01; 0b11 ] and off = [ 0b00; 0b10 ] in
+  let cover = Boolf.minimize ~n:2 ~on ~off in
+  check_int "single cube" 1 (Boolf.Cover.cubes cover);
+  check_int "single literal" 1 (Boolf.Cover.literals cover)
+
+let test_minimize_dc () =
+  (* ON = {11}, OFF = {00}: a single don't-care-expanded literal works. *)
+  let cover = Boolf.minimize ~n:2 ~on:[ 0b11 ] ~off:[ 0b00 ] in
+  check_int "one cube" 1 (Boolf.Cover.cubes cover);
+  check_int "one literal thanks to don't cares" 1 (Boolf.Cover.literals cover)
+
+let test_minimize_xor () =
+  (* XOR has no don't cares and needs two 2-literal cubes. *)
+  let on = [ 0b01; 0b10 ] and off = [ 0b00; 0b11 ] in
+  let cover = Boolf.minimize ~n:2 ~on ~off in
+  check_int "two cubes" 2 (Boolf.Cover.cubes cover);
+  check_int "four literals" 4 (Boolf.Cover.literals cover)
+
+let test_minimize_errors () =
+  check "overlapping on/off rejected" true
+    (match Boolf.minimize ~n:2 ~on:[ 1 ] ~off:[ 1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_equal_on () =
+  let c1 = [ cube "1-" ] in
+  let c2 = [ cube "10"; cube "11" ] in
+  check "same function" true (Boolf.Cover.equal_on ~n:2 c1 c2);
+  check "different" false (Boolf.Cover.equal_on ~n:2 c1 [ cube "01" ])
+
+let test_estimate () =
+  check_int "constant zero" 0 (Boolf.estimate_literals ~n:3 ~on:[] ~off:[ 1 ]);
+  check_int "constant one" 0 (Boolf.estimate_literals ~n:3 ~on:[ 1 ] ~off:[])
+
+(* Properties. *)
+
+let gen_onoff n =
+  QCheck.Gen.(
+    let minterm = int_range 0 ((1 lsl n) - 1) in
+    pair (list_size (int_range 0 8) minterm) (list_size (int_range 0 8) minterm))
+
+let arb_onoff n =
+  QCheck.make
+    ~print:(fun (on, off) ->
+      Printf.sprintf "on=[%s] off=[%s]"
+        (String.concat ";" (List.map string_of_int on))
+        (String.concat ";" (List.map string_of_int off)))
+    (gen_onoff n)
+
+let disjoint on off = not (List.exists (fun m -> List.mem m off) on)
+
+let prop_minimize_sound =
+  QCheck.Test.make
+    ~name:"minimize covers every ON minterm and no OFF minterm" ~count:300
+    (arb_onoff 6)
+    (fun (on, off) ->
+      QCheck.assume (disjoint on off);
+      let cover = Boolf.minimize ~n:6 ~on ~off in
+      List.for_all (fun m -> Boolf.Cover.covers cover m) on
+      && not (List.exists (fun m -> Boolf.Cover.covers cover m) off))
+
+let prop_minimize_primes =
+  QCheck.Test.make
+    ~name:"every cube of a minimized cover is prime against the OFF set"
+    ~count:200 (arb_onoff 5)
+    (fun (on, off) ->
+      QCheck.assume (disjoint on off);
+      let cover = Boolf.minimize ~n:5 ~on ~off in
+      let prime c =
+        (* Freeing any bound literal would cover an OFF minterm. *)
+        List.for_all
+          (fun v ->
+            (not (Boolf.Cube.bound c v))
+            || List.exists
+                 (fun m -> Boolf.Cube.covers (Boolf.Cube.free c v) m)
+                 off)
+          (List.init 5 Fun.id)
+      in
+      List.for_all prime cover)
+
+let prop_contains_covers =
+  QCheck.Test.make
+    ~name:"contains is equivalent to minterm-wise coverage" ~count:200
+    QCheck.(pair (int_range 0 242) (int_range 0 242))
+    (fun (x, y) ->
+      (* interpret x, y base-3 as cubes over 5 variables *)
+      let decode v =
+        let buf = Bytes.create 5 in
+        let rec go v i =
+          if i < 5 then begin
+            Bytes.set buf i
+              (match v mod 3 with 0 -> '0' | 1 -> '1' | _ -> '-');
+            go (v / 3) (i + 1)
+          end
+        in
+        go v 0;
+        Boolf.Cube.of_string (Bytes.to_string buf)
+      in
+      let c1 = decode x and c2 = decode y in
+      let by_minterms =
+        List.for_all
+          (fun m -> (not (Boolf.Cube.covers c2 m)) || Boolf.Cube.covers c1 m)
+          (List.init 32 Fun.id)
+      in
+      Boolf.Cube.contains c1 c2 = by_minterms)
+
+let suite =
+  [
+    Alcotest.test_case "cube strings" `Quick test_cube_strings;
+    Alcotest.test_case "covers minterm" `Quick test_covers_minterm;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "inter" `Quick test_inter;
+    Alcotest.test_case "free and bound" `Quick test_free_bound;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "minimize identity" `Quick test_minimize_simple;
+    Alcotest.test_case "minimize with dc" `Quick test_minimize_dc;
+    Alcotest.test_case "minimize xor" `Quick test_minimize_xor;
+    Alcotest.test_case "minimize errors" `Quick test_minimize_errors;
+    Alcotest.test_case "equal_on" `Quick test_equal_on;
+    Alcotest.test_case "estimate constants" `Quick test_estimate;
+    QCheck_alcotest.to_alcotest prop_minimize_sound;
+    QCheck_alcotest.to_alcotest prop_minimize_primes;
+    QCheck_alcotest.to_alcotest prop_contains_covers;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for gate-level decomposition, Verilog output and conformance. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let buffer_sg () =
+  Gen.sg_exn
+    (Stg.Io.parse
+       {|
+.inputs in
+.outputs out
+.graph
+in+ out+
+out+ in-
+in- out-
+out- in+
+.marking { <out-,in+> }
+.end
+|})
+
+let test_wire_circuit () =
+  let sg = buffer_sg () in
+  let impl = Logic.synthesize sg in
+  let c = Circuit.of_impl impl in
+  check_int "area zero" 0 (Circuit.area c);
+  check_int "no real gates" 0 (Circuit.gate_count c);
+  check "conforms" true (Circuit.conforms c = Ok ());
+  (* next_values: out follows in. *)
+  check "out rises when in high" true
+    (Circuit.next_values c ~code:0b01 = [ (1, true) ]);
+  check "out falls when in low" true
+    (Circuit.next_values c ~code:0b10 = [ (1, false) ])
+
+let test_verilog () =
+  let sg = buffer_sg () in
+  let c = Circuit.of_impl (Logic.synthesize sg) in
+  let v = Circuit.to_verilog ~module_name:"buf" c in
+  let contains needle =
+    let nh = String.length v and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub v i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "module header" true (contains "module buf (in, out);");
+  check "input decl" true (contains "input in;");
+  check "output decl" true (contains "output out;");
+  check "wire assign" true (contains "assign out = in;");
+  check "endmodule" true (contains "endmodule")
+
+let test_area_matches_logic_lr () =
+  let stg = Expansion.four_phase Specs.lr in
+  let sg = Gen.sg_exn stg in
+  match Csc.resolve sg with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let impl = Logic.synthesize r.Csc.sg in
+      let c = Circuit.of_impl impl in
+      check_int "decomposed area = area model" (Logic.area impl)
+        (Circuit.area c);
+      check "conforms" true (Circuit.conforms c = Ok ());
+      check "has real gates" true (Circuit.gate_count c > 0)
+
+let test_of_impl_rejects_conflicts () =
+  let sg = Gen.sg_exn (Specs.fig1 ()) in
+  let impl = Logic.synthesize sg in
+  check "rejects conflicted impl" true
+    (match Circuit.of_impl impl with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_violation_detection () =
+  (* Wrong logic must be caught: take the buffer but corrupt the cover of
+     [out] to constant 1. *)
+  let sg = buffer_sg () in
+  let impl = Logic.synthesize sg in
+  let corrupted =
+    {
+      impl with
+      Logic.per_signal =
+        List.map
+          (fun si -> { si with Logic.driver = Logic.Sop [ Boolf.Cube.top ] })
+          impl.Logic.per_signal;
+    }
+  in
+  let c = Circuit.of_impl corrupted in
+  match Circuit.conforms c with
+  | Error (v :: _) ->
+      check "violation mentions out" true (v.Circuit.signal = 1);
+      check "renders" true
+        (String.length (Format.asprintf "%a" (Circuit.pp_violation sg) v) > 0)
+  | Error [] | Ok () -> Alcotest.fail "expected a conformance violation"
+
+let prop_synthesized_circuits_conform =
+  QCheck.Test.make
+    ~name:"synthesized circuits conform to their specification" ~count:5
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let stg = Expansion.four_phase (Gen.random_spec seed) in
+      let sg = Gen.sg_exn stg in
+      QCheck.assume (Sg.n_states sg <= 60);
+      match Csc.resolve ~max_signals:3 ~work:1_500 sg with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r ->
+          let impl = Logic.synthesize r.Csc.sg in
+          let c = Circuit.of_impl impl in
+          Circuit.conforms c = Ok () && Circuit.area c = Logic.area impl)
+
+let prop_rings_conform =
+  QCheck.Test.make ~name:"ring circuits conform and match the area model"
+    ~count:20
+    QCheck.(pair (int_range 1 6) (int_range 0 2))
+    (fun (n, inputs) ->
+      QCheck.assume (inputs <= n);
+      let sg = Gen.sg_exn (Gen.ring ~inputs n) in
+      let impl = Logic.synthesize sg in
+      let c = Circuit.of_impl impl in
+      Circuit.conforms c = Ok () && Circuit.area c = Logic.area impl)
+
+let suite =
+  [
+    Alcotest.test_case "wire circuit" `Quick test_wire_circuit;
+    Alcotest.test_case "verilog rendering" `Quick test_verilog;
+    Alcotest.test_case "area matches Logic (LR)" `Quick
+      test_area_matches_logic_lr;
+    Alcotest.test_case "rejects conflicts" `Quick test_of_impl_rejects_conflicts;
+    Alcotest.test_case "violation detection" `Quick test_violation_detection;
+    QCheck_alcotest.to_alcotest prop_synthesized_circuits_conform;
+    QCheck_alcotest.to_alcotest prop_rings_conform;
+  ]

@@ -1,0 +1,175 @@
+(* Tests for weak bisimulation and dummy contraction. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A buffer with a dummy in the middle of the cycle. *)
+let buffer_with_dummy =
+  {|
+.inputs in
+.outputs out
+.dummy eps
+.graph
+in+ out+
+out+ eps
+eps in-
+in- out-
+out- in+
+.marking { <out-,in+> }
+.end
+|}
+
+let buffer_plain =
+  {|
+.inputs in
+.outputs out
+.graph
+in+ out+
+out+ in-
+in- out-
+out- in+
+.marking { <out-,in+> }
+.end
+|}
+
+let test_weak_bisim_identity () =
+  let sg = Gen.sg_exn (Stg.Io.parse buffer_plain) in
+  check "reflexive" true (Sg.weak_bisimilar sg sg)
+
+let test_weak_bisim_dummy () =
+  let with_d = Gen.sg_exn (Stg.Io.parse buffer_with_dummy) in
+  let without = Gen.sg_exn (Stg.Io.parse buffer_plain) in
+  check "dummy is silent" true (Sg.weak_bisimilar with_d without);
+  check "symmetric" true (Sg.weak_bisimilar without with_d)
+
+let test_weak_bisim_negative () =
+  let buffer = Gen.sg_exn (Stg.Io.parse buffer_plain) in
+  let inverter =
+    Gen.sg_exn
+      (Stg.Io.parse
+         {|
+.inputs in
+.outputs out
+.graph
+in- out+
+out+ in+
+in+ out-
+out- in-
+.marking { <out-,in-> }
+.end
+|})
+  in
+  check "different behaviours" false (Sg.weak_bisimilar buffer inverter);
+  let fig1 = Gen.sg_exn (Specs.fig1 ()) in
+  check "different systems" false (Sg.weak_bisimilar buffer fig1)
+
+let test_contract_buffer_dummy () =
+  let stg = Stg.Io.parse buffer_with_dummy in
+  let t = Petri.trans_of_name stg.Stg.net "eps" in
+  match Contract.dummy stg t with
+  | Ok stg' ->
+      check_int "one transition fewer" 4 (Petri.n_trans stg'.Stg.net);
+      check "no dummies left" true
+        (List.for_all
+           (fun lab ->
+             match lab with Stg.Dummy _ -> false | Stg.Edge _ -> true)
+           (Stg.all_labels stg'));
+      (* The contracted STG is equivalent to the plain buffer. *)
+      check "equivalent to plain buffer" true
+        (Sg.weak_bisimilar (Gen.sg_exn stg')
+           (Gen.sg_exn (Stg.Io.parse buffer_plain)))
+  | Error msg -> Alcotest.fail msg
+
+let test_contract_rejects_edge () =
+  let stg = Stg.Io.parse buffer_plain in
+  let t = Petri.trans_of_name stg.Stg.net "in+" in
+  match Contract.dummy stg t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "signal edges must not contract"
+
+let test_contract_all_choice_spec () =
+  (* The compiler introduces an adapter dummy for choice after parallel
+     composition; contraction should remove removable ones and keep the
+     behaviour. *)
+  let spec =
+    Expansion.spec
+      (Expansion.Loop
+         (Expansion.Seq
+            [
+              Expansion.Recv "a";
+              Expansion.Choice [ Expansion.Send "b"; Expansion.Send "c" ];
+              Expansion.Send "a";
+            ]))
+  in
+  let stg = Expansion.two_phase spec in
+  let before = Gen.sg_exn stg in
+  let stg', removed = Contract.all_dummies stg in
+  let after = Gen.sg_exn stg' in
+  check "behaviour preserved" true (Sg.weak_bisimilar before after);
+  ignore removed
+
+let test_contract_all_no_dummies () =
+  let stg = Expansion.four_phase Specs.lr in
+  let stg', removed = Contract.all_dummies stg in
+  check "nothing removed" true (removed = []);
+  check "same net" true
+    (Petri.n_trans stg'.Stg.net = Petri.n_trans stg.Stg.net)
+
+let test_contract_fork_dummy () =
+  (* A dummy forking into two places: contraction builds product places. *)
+  let stg =
+    Stg.Io.parse
+      {|
+.outputs x y
+.dummy fork join
+.graph
+p fork
+fork x~ y~
+x~ join
+y~ join
+join p
+.marking { p }
+.end
+|}
+  in
+  let t = Petri.trans_of_name stg.Stg.net "fork" in
+  match Contract.dummy stg t with
+  | Ok stg' ->
+      check "fork removed" true
+        (match Petri.trans_of_name stg'.Stg.net "fork" with
+        | exception Not_found -> true
+        | _ -> false);
+      (* The product-place construction preserved the behaviour. *)
+      check "weakly bisimilar to original" true
+        (Sg.weak_bisimilar (Gen.sg_exn stg) (Gen.sg_exn stg'))
+  | Error msg -> Alcotest.fail msg
+
+let prop_contraction_preserves_random_specs =
+  QCheck.Test.make
+    ~name:"all_dummies preserves weak bisimilarity on random 2-phase specs"
+    ~count:15
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let stg = Expansion.two_phase (Gen.random_spec seed) in
+      match Sg.of_stg stg with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok before ->
+          let stg', _ = Contract.all_dummies stg in
+          Sg.weak_bisimilar before (Gen.sg_exn stg'))
+
+let suite =
+  [
+    Alcotest.test_case "weak bisim reflexive" `Quick test_weak_bisim_identity;
+    Alcotest.test_case "weak bisim over dummy" `Quick test_weak_bisim_dummy;
+    Alcotest.test_case "weak bisim negative" `Quick test_weak_bisim_negative;
+    Alcotest.test_case "contract buffer dummy" `Quick
+      test_contract_buffer_dummy;
+    Alcotest.test_case "contract rejects edges" `Quick
+      test_contract_rejects_edge;
+    Alcotest.test_case "contract choice spec" `Quick
+      test_contract_all_choice_spec;
+    Alcotest.test_case "contract: no dummies" `Quick
+      test_contract_all_no_dummies;
+    Alcotest.test_case "contract fork dummy" `Quick test_contract_fork_dummy;
+    QCheck_alcotest.to_alcotest prop_contraction_preserves_random_specs;
+  ]

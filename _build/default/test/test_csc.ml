@@ -1,0 +1,201 @@
+(* Tests for CSC conflict resolution by state-signal insertion. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lr_sg () =
+  let stg = Expansion.four_phase Specs.lr in
+  (stg, Gen.sg_exn stg)
+
+let test_sites () =
+  let stg, _ = lr_sg () in
+  let sites = Csc.sites stg in
+  check "some sites" true (List.length sites > 0);
+  (* No site may directly delay an input transition. *)
+  let delays_input = function
+    | Csc.After t ->
+        Array.exists
+          (fun p ->
+            Array.exists
+              (fun t' -> Stg.is_input_trans stg t')
+              stg.Stg.net.Petri.consumers.(p))
+          stg.Stg.net.Petri.post.(t)
+    | Csc.On_arc p ->
+        Stg.is_input_trans stg stg.Stg.net.Petri.consumers.(p).(0)
+  in
+  check "no site delays an input" true
+    (not (List.exists delays_input sites))
+
+let test_insert_after () =
+  let stg, _ = lr_sg () in
+  (* Pick two legal series sites (lo+ precedes inputs, so use the sites
+     enumerator rather than guessing). *)
+  let set, reset =
+    match
+      List.filter (function Csc.After _ -> true | Csc.On_arc _ -> false)
+        (Csc.sites stg)
+    with
+    | s :: r :: _ -> (s, r)
+    | [ _ ] | [] -> Alcotest.fail "expected at least two After sites"
+  in
+  let stg' = Csc.insert_signal stg ~set ~reset ~name:"x" in
+  check_int "two more transitions" (Petri.n_trans stg.Stg.net + 2)
+    (Petri.n_trans stg'.Stg.net);
+  check "x internal" true
+    ((Stg.signal stg' (Stg.signal_of_name stg' "x")).Stg.Signal.kind
+    = Stg.Signal.Internal);
+  match Sg.of_stg stg' with
+  | Ok sg -> check "consistent" true (Sg.n_states sg > 0)
+  | Error _ -> Alcotest.fail "series insertion must stay consistent"
+
+let test_insert_errors () =
+  let stg, _ = lr_sg () in
+  let lo_plus = Petri.trans_of_name stg.Stg.net "lo+" in
+  check "coinciding sites" true
+    (match
+       Csc.insert_signal stg ~set:(Csc.After lo_plus)
+         ~reset:(Csc.After lo_plus) ~name:"x"
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "existing signal name" true
+    (match
+       Csc.insert_signal stg ~set:(Csc.After lo_plus)
+         ~reset:(Csc.After (Petri.trans_of_name stg.Stg.net "ro+"))
+         ~name:"lo"
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* ro+ directly precedes the input ri+: inserting after it is illegal. *)
+  let ro_plus = Petri.trans_of_name stg.Stg.net "ro+" in
+  check "delaying an input rejected" true
+    (match
+       Csc.insert_signal stg ~set:(Csc.After ro_plus)
+         ~reset:(Csc.After lo_plus) ~name:"x"
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_resolve_lr () =
+  let _, sg = lr_sg () in
+  match Csc.resolve sg with
+  | Ok r ->
+      check_int "two state signals (Table 1 max concurrency)" 2
+        (List.length r.Csc.inserted);
+      check "result satisfies CSC" true (Sg.has_csc r.Csc.sg);
+      check "result speed-independent" true
+        (Sg.is_speed_independent r.Csc.sg);
+      (* The I/O interface is unchanged: same input/output signals. *)
+      let io stg =
+        Array.to_list stg.Stg.signals
+        |> List.filter (fun s -> s.Stg.Signal.kind <> Stg.Signal.Internal)
+        |> List.map (fun s -> s.Stg.Signal.name)
+      in
+      check "I/O preserved" true (io r.Csc.stg = io sg.Sg.stg)
+  | Error msg -> Alcotest.fail msg
+
+let test_resolve_noop () =
+  (* A CSC-clean SG resolves with zero insertions. *)
+  let stg =
+    Stg.Io.parse
+      {|
+.inputs in
+.outputs out
+.graph
+in+ out+
+out+ in-
+in- out-
+out- in+
+.marking { <out-,in+> }
+.end
+|}
+  in
+  let sg = Gen.sg_exn stg in
+  match Csc.resolve sg with
+  | Ok r -> check_int "no signals needed" 0 (List.length r.Csc.inserted)
+  | Error msg -> Alcotest.fail msg
+
+let test_resolve_unresolvable () =
+  (* Fig. 1: the conflict window contains only input events; resolution
+     must fail (quickly) rather than delay an input. *)
+  let sg = Gen.sg_exn (Specs.fig1 ()) in
+  match Csc.resolve ~max_signals:2 ~work:2_000 sg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fig1 should be unresolvable without input delay"
+
+let test_count_signals () =
+  let _, sg = lr_sg () in
+  check "count = 2" true (Csc.count_signals sg = Some 2)
+
+let test_site_display () =
+  let stg, _ = lr_sg () in
+  let lo_plus = Petri.trans_of_name stg.Stg.net "lo+" in
+  let s = Format.asprintf "%a" (Csc.pp_site stg) (Csc.After lo_plus) in
+  check "after site renders" true (s = "after lo+")
+
+let prop_insertion_only_delays =
+  (* Inserting a signal never changes the projection of traces onto the
+     original signals: check that the original labels' arc counts per label
+     survive, and the result (when consistent) has at least as many states. *)
+  QCheck.Test.make ~name:"insertion preserves original events" ~count:10
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let stg = Expansion.four_phase (Gen.random_spec seed) in
+      let sg = Gen.sg_exn stg in
+      let sites = Array.of_list (Csc.sites stg) in
+      QCheck.assume (Array.length sites >= 2);
+      let st = Random.State.make [| seed |] in
+      let i = Random.State.int st (Array.length sites) in
+      let j = Random.State.int st (Array.length sites) in
+      QCheck.assume (i <> j);
+      match Csc.insert_signal stg ~set:sites.(i) ~reset:sites.(j) ~name:"z" with
+      | exception Invalid_argument _ -> true
+      | stg' -> (
+          match Sg.of_stg stg' with
+          | Error _ -> true (* inconsistent insertions are rejected upstream *)
+          | Ok sg' ->
+              Sg.n_states sg' >= Sg.n_states sg
+              || List.length (Stg.all_labels stg')
+                 = List.length (Stg.all_labels stg) + 2))
+
+let suite =
+  [
+    Alcotest.test_case "sites" `Quick test_sites;
+    Alcotest.test_case "insert after" `Quick test_insert_after;
+    Alcotest.test_case "insert errors" `Quick test_insert_errors;
+    Alcotest.test_case "resolve LR" `Quick test_resolve_lr;
+    Alcotest.test_case "resolve no-op" `Quick test_resolve_noop;
+    Alcotest.test_case "resolve unresolvable" `Quick test_resolve_unresolvable;
+    Alcotest.test_case "count signals" `Quick test_count_signals;
+    Alcotest.test_case "site display" `Quick test_site_display;
+    QCheck_alcotest.to_alcotest prop_insertion_only_delays;
+  ]
+
+let test_on_arc_site_display () =
+  let stg, _ = lr_sg () in
+  match
+    List.find_opt
+      (function Csc.On_arc _ -> true | Csc.After _ -> false)
+      (Csc.sites stg)
+  with
+  | Some site ->
+      let s = Format.asprintf "%a" (Csc.pp_site stg) site in
+      check "renders with arrow" true
+        (String.length s > 3 && String.sub s 0 3 = "on ")
+  | None -> Alcotest.fail "expected at least one arc site"
+
+let test_resolve_deterministic () =
+  (* Same input, same resolution (the search is deterministic). *)
+  let _, sg = lr_sg () in
+  match (Csc.resolve sg, Csc.resolve sg) with
+  | Ok a, Ok b ->
+      check "same insertions" true (a.Csc.inserted = b.Csc.inserted)
+  | _, _ -> Alcotest.fail "resolution should succeed"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "on-arc site display" `Quick test_on_arc_site_display;
+      Alcotest.test_case "deterministic resolution" `Quick
+        test_resolve_deterministic;
+    ]

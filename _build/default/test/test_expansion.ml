@@ -1,0 +1,344 @@
+(* Tests for the spec language, the Petri-net compiler, and the 2-/4-phase
+   handshake expansions. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+open Expansion
+
+let test_parser () =
+  check "lr" true
+    (Parse.proc "loop { l?; r!; r?; l! }"
+    = Loop (Seq [ Recv "l"; Send "r"; Recv "r"; Send "l" ]));
+  check "par" true
+    (Parse.proc "loop { a?; (b!; b? || c!; c?); a! }"
+    = Loop
+        (Seq
+           [
+             Recv "a";
+             Par [ Seq [ Send "b"; Recv "b" ]; Seq [ Send "c"; Recv "c" ] ];
+             Send "a";
+           ]));
+  check "choice" true
+    (Parse.proc "(a+ | b-)" = Choice [ Rise "a"; Fall "b" ]);
+  check "atoms" true
+    (Parse.proc "x~; y@; skip" = Seq [ Tog "x"; Active "y"; Skip ]);
+  check "nested" true
+    (Parse.proc "((a! || b!); c?)"
+    = Seq [ Par [ Send "a"; Send "b" ]; Recv "c" ])
+
+let test_parser_errors () =
+  let fails s =
+    match Parse.proc s with exception Parse.Error _ -> true | _ -> false
+  in
+  check "bare name" true (fails "a");
+  check "unclosed paren" true (fails "(a!; b!");
+  check "unclosed loop" true (fails "loop { a! ");
+  check "empty" true (fails "");
+  check "trailing" true (fails "a! b!");
+  check "bad char" true (fails "a! $ b!")
+
+let test_channels_roles () =
+  check "passive first" true
+    (channels (Seq [ Recv "l"; Send "l" ]) = [ ("l", `Passive) ]);
+  check "active first" true
+    (channels (Seq [ Send "r"; Recv "r" ]) = [ ("r", `Active) ]);
+  check "order preserved" true
+    (channels (Seq [ Recv "a"; Send "b" ])
+    = [ ("a", `Passive); ("b", `Active) ])
+
+let test_spec_constructor () =
+  let s = spec ~inputs:[ "x" ] (Seq [ Rise "x"; Rise "y"; Tog "z" ]) in
+  check "inputs" true (s.sig_inputs = [ "x" ]);
+  check "outputs defaulted" true (s.sig_outputs = [ "y"; "z" ])
+
+let test_compile_raw_lr () =
+  let stg = compile_raw Specs.lr in
+  check_int "four transitions" 4 (Petri.n_trans stg.Stg.net);
+  check_int "four places" 4 (Petri.n_places stg.Stg.net);
+  check "all dummies at channel level" true
+    (List.for_all
+       (fun lab -> match lab with Stg.Dummy _ -> true | Stg.Edge _ -> false)
+       (Stg.all_labels stg));
+  check "marked graph" true (Petri.is_marked_graph stg.Stg.net)
+
+let test_compile_raw_par () =
+  let stg = compile_raw Specs.par in
+  (* a?, b!, b?, c!, c?, a! — no dummy fork/join needed: a? fans out. *)
+  check_int "six transitions" 6 (Petri.n_trans stg.Stg.net);
+  let a_recv = Petri.trans_of_name stg.Stg.net "a?" in
+  check_int "a? forks two branches" 2
+    (Array.length stg.Stg.net.Petri.post.(a_recv));
+  let a_send = Petri.trans_of_name stg.Stg.net "a!" in
+  check_int "a! joins two branches" 2
+    (Array.length stg.Stg.net.Petri.pre.(a_send))
+
+let test_compile_choice () =
+  let s = spec (Loop (Seq [ Recv "a"; Choice [ Send "b"; Send "c" ]; Send "a" ])) in
+  ignore (channels s.proc);
+  let stg = compile_raw s in
+  match Sg.of_stg stg with
+  | Ok sg ->
+      check "choice compiles and runs" true (Sg.n_states sg > 0);
+      check "free choice net" true (Petri.is_free_choice stg.Stg.net)
+  | Error _ -> Alcotest.fail "choice spec inconsistent"
+
+let test_two_phase_lr () =
+  let stg = two_phase Specs.lr in
+  let sg = Gen.sg_exn stg in
+  (* 4 toggle events, each marking visited twice. *)
+  check_int "eight states" 8 (Sg.n_states sg);
+  check "toggle labels" true
+    (List.for_all
+       (fun lab ->
+         match lab with
+         | Stg.Edge (_, Stg.Toggle) -> true
+         | Stg.Edge _ | Stg.Dummy _ -> false)
+       (Stg.all_labels stg))
+
+let test_four_phase_lr () =
+  let stg = four_phase Specs.lr in
+  let sg = Gen.sg_exn stg in
+  check_int "sixteen states" 16 (Sg.n_states sg);
+  check "speed independent" true (Sg.is_speed_independent sg);
+  check_int "eight transitions" 8 (Petri.n_trans stg.Stg.net);
+  (* Interface constraints: within each channel the protocol is sequential,
+     so li- is NOT concurrent with lo-. *)
+  check "li- not concurrent with lo-" false
+    (Sg.concurrent sg (Core.lab stg "li-") (Core.lab stg "lo-"));
+  check "li- concurrent with ro-" true
+    (Sg.concurrent sg (Core.lab stg "li-") (Core.lab stg "ro-"));
+  (* Signal partition: the i-wires are inputs, o-wires outputs. *)
+  check "li input" true
+    (Stg.Signal.is_input (Stg.signal stg (Stg.signal_of_name stg "li")));
+  check "lo output" false
+    (Stg.Signal.is_input (Stg.signal stg (Stg.signal_of_name stg "lo")))
+
+let test_four_phase_unconstrained () =
+  let stg = four_phase ~constraints:`None Specs.lr in
+  let sg = Gen.sg_exn stg in
+  check_int "64 states at maximal concurrency" 64 (Sg.n_states sg);
+  (* Without the protocol, li- IS concurrent with lo-. *)
+  check "li- concurrent with lo-" true
+    (Sg.concurrent sg (Core.lab stg "li-") (Core.lab stg "lo-"))
+
+let test_four_phase_par () =
+  let stg = four_phase Specs.par in
+  let sg = Gen.sg_exn stg in
+  check_int "76 states" 76 (Sg.n_states sg);
+  check "SI" true (Sg.is_speed_independent sg);
+  check "bi+ || ci+" true
+    (Sg.concurrent sg (Core.lab stg "bi+") (Core.lab stg "ci+"))
+
+let test_four_phase_mmu () =
+  let stg = four_phase Specs.mmu in
+  let sg = Gen.sg_exn stg in
+  check_int "216 states" 216 (Sg.n_states sg);
+  check "SI" true (Sg.is_speed_independent sg)
+
+let test_partial_signal_in_spec () =
+  (* Active "b": only b+ appears in the spec; 4-phase adds b-. *)
+  let s = spec (Loop (Seq [ Recv "a"; Active "b"; Send "a" ])) in
+  let stg = four_phase s in
+  check "b- inserted" true
+    (match Petri.trans_of_name stg.Stg.net "b-" with
+    | _ -> true
+    | exception Not_found -> false);
+  let sg = Gen.sg_exn stg in
+  check "SI" true (Sg.is_speed_independent sg);
+  check "b- maximally concurrent with channel reset" true
+    (Sg.concurrent sg (Core.lab stg "b-") (Core.lab stg "ai-"))
+
+let test_expand_partial_stg () =
+  let partial =
+    Stg.Io.parse
+      {|
+.inputs req
+.outputs ack x
+.graph
+req+ x+
+x+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+|}
+  in
+  let expanded = expand_partial_stg partial ~partial:[ "x" ] in
+  check "x- added" true
+    (match Petri.trans_of_name expanded.Stg.net "x-" with
+    | _ -> true
+    | exception Not_found -> false);
+  let sg = Gen.sg_exn expanded in
+  check "SI" true (Sg.is_speed_independent sg);
+  check "x- concurrent with ack+" true
+    (Sg.concurrent sg (Core.lab expanded "x-") (Core.lab expanded "ack+"))
+
+let test_expand_partial_errors () =
+  let stg = Specs.fig1 () in
+  check "unknown signal" true
+    (match expand_partial_stg stg ~partial:[ "nope" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "signal already has falling edge" true
+    (match expand_partial_stg stg ~partial:[ "Ack" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_loop_only_top_level () =
+  check "nested loop rejected" true
+    (match compile_raw (spec (Seq [ Loop (Recv "a") ])) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fig6_refinements () =
+  let raw = compile_raw Specs.fig6 in
+  check "raw has channel events" true
+    (List.exists
+       (fun lab -> lab = Stg.Dummy "a!")
+       (Stg.all_labels raw));
+  let two = two_phase Specs.fig6 in
+  check "2-phase consistent" true
+    (match Sg.of_stg two with Ok _ -> true | Error _ -> false);
+  let four = four_phase Specs.fig6 in
+  let sg = Gen.sg_exn four in
+  check "4-phase SI" true (Sg.is_speed_independent sg)
+
+let prop_random_specs_expand =
+  QCheck.Test.make
+    ~name:"random channel specs: 4-phase expansion is SI and deadlock-free"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let s = Gen.random_spec seed in
+      let stg = Expansion.four_phase s in
+      match Sg.of_stg stg with
+      | Ok sg -> Sg.is_speed_independent sg && Sg.deadlocks sg = []
+      | Error _ -> false)
+
+let prop_random_specs_two_phase =
+  QCheck.Test.make
+    ~name:"random channel specs: 2-phase expansion is consistent" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let s = Gen.random_spec seed in
+      match Sg.of_stg (Expansion.two_phase s) with
+      | Ok sg -> Sg.deadlocks sg = []
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parser" `Quick test_parser;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "channel roles" `Quick test_channels_roles;
+    Alcotest.test_case "spec constructor" `Quick test_spec_constructor;
+    Alcotest.test_case "compile raw LR" `Quick test_compile_raw_lr;
+    Alcotest.test_case "compile raw PAR" `Quick test_compile_raw_par;
+    Alcotest.test_case "compile choice" `Quick test_compile_choice;
+    Alcotest.test_case "2-phase LR" `Quick test_two_phase_lr;
+    Alcotest.test_case "4-phase LR" `Quick test_four_phase_lr;
+    Alcotest.test_case "4-phase unconstrained" `Quick
+      test_four_phase_unconstrained;
+    Alcotest.test_case "4-phase PAR" `Quick test_four_phase_par;
+    Alcotest.test_case "4-phase MMU" `Quick test_four_phase_mmu;
+    Alcotest.test_case "partial signal in spec" `Quick
+      test_partial_signal_in_spec;
+    Alcotest.test_case "expand partial STG" `Quick test_expand_partial_stg;
+    Alcotest.test_case "expand partial errors" `Quick
+      test_expand_partial_errors;
+    Alcotest.test_case "loop only top-level" `Quick test_loop_only_top_level;
+    Alcotest.test_case "fig6 refinements" `Quick test_fig6_refinements;
+    QCheck_alcotest.to_alcotest prop_random_specs_expand;
+    QCheck_alcotest.to_alcotest prop_random_specs_two_phase;
+  ]
+
+(* ---- multi-process systems and internal channels ---- *)
+
+let pipeline_spec =
+  spec
+    (Par
+       [
+         Loop (Seq [ Recv "a"; Send "t"; Recv "t"; Send "a" ]);
+         Loop (Seq [ Recv "t"; Send "b"; Recv "b"; Send "t" ]);
+       ])
+
+let test_parse_toplevel_parallel () =
+  check "top-level || parses to Par of loops" true
+    (Parse.proc "loop { a?; t!; t?; a! } || loop { t?; b!; b?; t! }"
+    = pipeline_spec.proc)
+
+let test_internal_channel_four_phase () =
+  let stg = four_phase pipeline_spec in
+  (* Channel t is internal: wires treq/tack are internal signals. *)
+  check "treq internal" true
+    ((Stg.signal stg (Stg.signal_of_name stg "treq")).Stg.Signal.kind
+    = Stg.Signal.Internal);
+  check "tack internal" true
+    ((Stg.signal stg (Stg.signal_of_name stg "tack")).Stg.Signal.kind
+    = Stg.Signal.Internal);
+  (* Ports a and b still become i/o wire pairs. *)
+  check "ai input" true
+    (Stg.Signal.is_input (Stg.signal stg (Stg.signal_of_name stg "ai")));
+  let sg = Gen.sg_exn stg in
+  check "SI" true (Sg.is_speed_independent sg);
+  check "deadlock-free" true (Sg.deadlocks sg = [])
+
+let test_internal_channel_synthesizes () =
+  let stg = four_phase pipeline_spec in
+  (* The synchronization dummies must be contracted before synthesis. *)
+  let stg', removed = Contract.all_dummies stg in
+  check_int "two syncs removed" 2 (List.length removed);
+  let sg = Gen.sg_exn stg' in
+  let r = Core.implement ~max_csc:8 ~name:"pipeline" sg in
+  check "implements" true (r.Core.area <> None);
+  check "verified" true (r.Core.verified = Some true)
+
+let test_internal_channel_two_phase () =
+  let stg = two_phase pipeline_spec in
+  let sg = Gen.sg_exn stg in
+  check "2-phase pipeline consistent" true (Sg.deadlocks sg = [])
+
+let test_internal_channel_errors () =
+  (* Two handshakes per cycle on the internal channel are rejected. *)
+  let bad =
+    spec
+      (Par
+         [
+           Loop (Seq [ Send "t"; Recv "t"; Send "t"; Recv "t" ]);
+           Loop (Seq [ Recv "t"; Send "t"; Recv "t"; Send "t" ]);
+         ])
+  in
+  check "two handshakes rejected" true
+    (match four_phase bad with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* A channel used by three processes is rejected. *)
+  let three =
+    spec
+      (Par
+         [
+           Loop (Seq [ Send "t"; Recv "t" ]);
+           Loop (Seq [ Recv "t"; Send "t" ]);
+           Loop (Seq [ Recv "t"; Send "t" ]);
+         ])
+  in
+  check "three ends rejected" true
+    (match four_phase three with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "parse top-level ||" `Quick
+        test_parse_toplevel_parallel;
+      Alcotest.test_case "internal channel 4-phase" `Quick
+        test_internal_channel_four_phase;
+      Alcotest.test_case "internal channel synthesizes" `Quick
+        test_internal_channel_synthesizes;
+      Alcotest.test_case "internal channel 2-phase" `Quick
+        test_internal_channel_two_phase;
+      Alcotest.test_case "internal channel errors" `Quick
+        test_internal_channel_errors;
+    ]

@@ -1,0 +1,148 @@
+(* Tests for the frontier (beam) search optimizer of Fig. 9. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lr_sg () =
+  let stg = Expansion.four_phase Specs.lr in
+  (stg, Gen.sg_exn stg)
+
+let test_evaluate () =
+  let _, sg = lr_sg () in
+  let c = Search.evaluate sg in
+  check "positive cost" true (c.Search.cost > 0.0);
+  check_int "three csc pairs" 3 c.Search.csc_pairs;
+  check "estimate positive" true (c.Search.logic_estimate > 0);
+  (* w = 1 ignores conflicts; w = 0 ignores logic. *)
+  let c1 = Search.evaluate ~w:1.0 sg and c0 = Search.evaluate ~w:0.0 sg in
+  check "w=1 cost = logic" true
+    (c1.Search.cost = float_of_int c1.Search.logic_estimate);
+  check "w=0 cost = weighted conflicts" true
+    (c0.Search.cost = 8.0 *. float_of_int c0.Search.csc_pairs)
+
+let test_optimize_improves () =
+  let _, sg = lr_sg () in
+  let o = Search.optimize ~w:0.8 ~size_frontier:6 sg in
+  check "best improves on initial" true
+    (o.Search.best.Search.cost < o.Search.initial.Search.cost);
+  check "explored several configurations" true (o.Search.explored > 5);
+  check "levels advanced" true (o.Search.levels >= 1);
+  check "applied steps recorded" true (o.Search.best.Search.applied <> [])
+
+let test_keep_conc_enforced () =
+  let stg, sg = lr_sg () in
+  let pair = (Core.lab stg "lo-", Core.lab stg "ro-") in
+  let o = Search.optimize ~w:0.8 ~size_frontier:6 ~keep_conc:[ pair ] sg in
+  check "protected pair still concurrent" true
+    (Sg.concurrent o.Search.best.Search.sg (fst pair) (snd pair));
+  (* And never applied directly. *)
+  check "protected pair never reduced" true
+    (not
+       (List.exists
+          (fun (a, b) ->
+            (a = fst pair && b = snd pair) || (a = snd pair && b = fst pair))
+          o.Search.best.Search.applied))
+
+let test_max_levels () =
+  let _, sg = lr_sg () in
+  let o = Search.optimize ~max_levels:1 sg in
+  check "stopped at level 1" true (o.Search.levels <= 1);
+  check "best applied at most one step" true
+    (List.length o.Search.best.Search.applied <= 1)
+
+let test_apply_script_order () =
+  let stg, sg = lr_sg () in
+  let l = Core.lab stg in
+  let script = [ (l "lo+", l "ro-"); (l "lo+", l "ri-") ] in
+  let reduced, applied = Search.apply_script sg script in
+  check_int "both applied" 2 (List.length applied);
+  check "fewer states" true (Sg.n_states reduced < Sg.n_states sg)
+
+let test_reduce_fully () =
+  let _, sg = lr_sg () in
+  let c = Search.reduce_fully sg in
+  (* Termination with no applicable reduction left. *)
+  check "nothing reducible remains" true
+    (let stg = sg.Sg.stg in
+     let pairs = Sg.concurrent_pairs c.Search.sg in
+     List.for_all
+       (fun (a, b) ->
+         let input lab =
+           match lab with
+           | Stg.Edge (s, _) -> Stg.Signal.is_input (Stg.signal stg s)
+           | Stg.Dummy _ -> false
+         in
+         (input a || Result.is_error (Reduction.fwd_red c.Search.sg ~a ~b))
+         && (input b || Result.is_error (Reduction.fwd_red c.Search.sg ~a:b ~b:a)))
+       pairs)
+
+let test_wider_frontier_explores_more () =
+  let _, sg = lr_sg () in
+  let narrow = Search.optimize ~size_frontier:1 ~w:0.8 sg in
+  let wide = Search.optimize ~size_frontier:16 ~w:0.8 sg in
+  check "wider explores at least as much" true
+    (wide.Search.explored >= narrow.Search.explored);
+  check "wider finds at least as good" true
+    (wide.Search.best.Search.cost <= narrow.Search.best.Search.cost)
+
+let prop_search_monotone_cost_levels =
+  (* The search is monotone: every neighbour has strictly fewer arcs, so
+     the search always terminates; check termination + sane outcome on
+     random specs. *)
+  QCheck.Test.make ~name:"search terminates with valid best" ~count:8
+    QCheck.(int_range 0 2_000)
+    (fun seed ->
+      let stg = Expansion.four_phase (Gen.random_spec seed) in
+      let sg = Gen.sg_exn stg in
+      QCheck.assume (Sg.n_states sg <= 150);
+      let o = Search.optimize ~size_frontier:3 sg in
+      o.Search.best.Search.cost <= o.Search.initial.Search.cost
+      && Sg.deadlocks o.Search.best.Search.sg = [])
+
+let suite =
+  [
+    Alcotest.test_case "evaluate" `Quick test_evaluate;
+    Alcotest.test_case "optimize improves" `Quick test_optimize_improves;
+    Alcotest.test_case "keep_conc enforced" `Quick test_keep_conc_enforced;
+    Alcotest.test_case "max levels" `Quick test_max_levels;
+    Alcotest.test_case "apply script" `Quick test_apply_script_order;
+    Alcotest.test_case "reduce fully" `Quick test_reduce_fully;
+    Alcotest.test_case "wider frontier" `Quick test_wider_frontier_explores_more;
+    QCheck_alcotest.to_alcotest prop_search_monotone_cost_levels;
+  ]
+
+(* ---- performance-constrained search ---- *)
+
+let test_max_cycle_constraint () =
+  let stg, sg = lr_sg () in
+  let delays = Timing.table_label_delays stg in
+  (* Unconstrained best of the LR space is the two-wire full reduction
+     (cycle 12 under uniform label delays); bounding the cycle at 10 must
+     force a more concurrent (more expensive) solution. *)
+  let loose = Search.optimize ~w:1.0 ~size_frontier:8 sg in
+  let tight =
+    Search.optimize ~w:1.0 ~size_frontier:8 ~perf_delays:delays ~max_cycle:10
+      sg
+  in
+  let period cfg =
+    match Timing.analyze_sg ~delays cfg.Search.sg with
+    | Ok r -> r.Timing.period
+    | Error _ -> max_int
+  in
+  check "tight bound respected" true (period tight.Search.best <= 10);
+  check "tight costs at least as much" true
+    (tight.Search.best.Search.logic_estimate
+    >= loose.Search.best.Search.logic_estimate);
+  (* An unsatisfiable bound falls back to the initial configuration. *)
+  let impossible =
+    Search.optimize ~perf_delays:delays ~max_cycle:1 sg
+  in
+  check "unsatisfiable bound falls back" true
+    (impossible.Search.best.Search.applied = [])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "max_cycle constraint" `Quick
+        test_max_cycle_constraint;
+    ]

@@ -1,0 +1,328 @@
+(* Tests for state graph generation and the implementability analyses. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig1_sg () = Gen.sg_exn (Specs.fig1 ())
+
+let test_fig1_generation () =
+  let sg = fig1_sg () in
+  check_int "five states" 5 (Sg.n_states sg);
+  check_int "six arcs" 6
+    (Array.fold_left (fun acc a -> acc + Array.length a) 0 sg.Sg.succ);
+  Alcotest.(check string) "initial code display" "10*"
+    (Sg.code_display sg sg.Sg.initial);
+  check_int "Req initially 1" 1 (Sg.value sg sg.Sg.initial 0);
+  check_int "Ack initially 0" 0 (Sg.value sg sg.Sg.initial 1)
+
+let test_fig1_properties () =
+  let sg = fig1_sg () in
+  check "deterministic" true (Sg.is_deterministic sg);
+  check "commutative" true (Sg.is_commutative sg);
+  check "output persistent" true (Sg.is_output_persistent sg);
+  check "speed independent" true (Sg.is_speed_independent sg);
+  check "CSC violated" false (Sg.has_csc sg);
+  check_int "one CSC conflict pair" 1 (List.length (Sg.csc_conflicts sg));
+  check_int "one USC conflict pair" 1 (List.length (Sg.usc_conflicts sg));
+  check "no deadlocks" true (Sg.deadlocks sg = [])
+
+let test_fig1_er_concurrency () =
+  let stg = Specs.fig1 () in
+  let sg = Gen.sg_exn stg in
+  let req_plus = Core.lab stg "Req+" and ack_minus = Core.lab stg "Ack-" in
+  check_int "ER(Req+) has 2 states" 2 (List.length (Sg.er sg req_plus));
+  check_int "ER(Ack-) has 2 states" 2 (List.length (Sg.er sg ack_minus));
+  check "Req+ || Ack-" true (Sg.concurrent sg req_plus ack_minus);
+  check "symmetric" true (Sg.concurrent sg ack_minus req_plus);
+  check "Req+ not concurrent with itself" false
+    (Sg.concurrent sg req_plus req_plus);
+  check "Req+ not concurrent with Ack+" false
+    (Sg.concurrent sg req_plus (Core.lab stg "Ack+"));
+  check_int "exactly one concurrent pair" 1
+    (List.length (Sg.concurrent_pairs sg));
+  (* ERs intersect iff concurrent (speed-independent SGs). *)
+  let inter =
+    List.filter (fun s -> List.mem s (Sg.er sg ack_minus)) (Sg.er sg req_plus)
+  in
+  check "ERs intersect" true (inter <> [])
+
+let test_er_components () =
+  let stg = Specs.fig1 () in
+  let sg = Gen.sg_exn stg in
+  let comps = Sg.er_components sg (Core.lab stg "Req+") in
+  check_int "one connected component" 1 (List.length comps);
+  check_int "component of size 2" 2 (List.length (List.hd comps))
+
+let test_inconsistent_plus_plus () =
+  (* a+ twice in a row is inconsistent. *)
+  let text =
+    {|
+.outputs a
+.graph
+a+/1 a+/2
+a+/2 a+/1
+.marking { <a+/2,a+/1> }
+.end
+|}
+  in
+  match Sg.of_stg (Stg.Io.parse text) with
+  | Error (Sg.Inconsistent _) -> ()
+  | Error (Sg.Unbounded _) -> Alcotest.fail "expected inconsistency"
+  | Ok _ -> Alcotest.fail "expected inconsistency"
+
+let test_budget_exceeded () =
+  let stg = Expansion.four_phase Specs.mmu in
+  match Sg.of_stg ~budget:10 stg with
+  | Error (Sg.Unbounded n) -> Alcotest.(check int) "budget" 10 n
+  | Error (Sg.Inconsistent _) | Ok _ -> Alcotest.fail "expected budget error"
+
+let test_toggle_double_cycle () =
+  (* A single toggling signal visits each marking twice. *)
+  let text =
+    {|
+.outputs a b
+.graph
+a~ b~
+b~ a~
+.marking { <b~,a~> }
+.end
+|}
+  in
+  let sg = Gen.sg_exn (Stg.Io.parse text) in
+  check_int "marking x parity product" 4 (Sg.n_states sg)
+
+let test_nondeterministic_sg () =
+  (* One place feeding two transitions with the SAME label but different
+     continuations: the SG has two a+ arcs from the initial state. *)
+  let text =
+    {|
+.outputs a
+.dummy d1 d2
+.graph
+p a+/1 a+/2
+a+/1 q1
+q1 a-/1
+a-/1 p
+a+/2 q2
+q2 d1
+d1 a-/2
+a-/2 p
+.marking { p }
+.end
+|}
+  in
+  let sg = Gen.sg_exn (Stg.Io.parse text) in
+  check "nondeterministic" false (Sg.is_deterministic sg)
+
+let test_persistency_violation () =
+  (* Choice between two OUTPUT events: firing one disables the other. *)
+  let text =
+    {|
+.outputs a b
+.graph
+p a+ b+
+a+ a-
+b+ b-
+a- p
+b- p
+.marking { p }
+.end
+|}
+  in
+  let sg = Gen.sg_exn (Stg.Io.parse text) in
+  check "not output persistent" false (Sg.is_output_persistent sg);
+  check "violations reported" true (Sg.persistency_violations sg <> []);
+  check "still deterministic" true (Sg.is_deterministic sg)
+
+let test_input_choice_is_ok () =
+  (* Free choice between two INPUT events is not a violation. *)
+  let text =
+    {|
+.inputs a b
+.graph
+p a+ b+
+a+ a-
+b+ b-
+a- p
+b- p
+.marking { p }
+.end
+|}
+  in
+  let sg = Gen.sg_exn (Stg.Io.parse text) in
+  check "input choice allowed" true (Sg.is_output_persistent sg)
+
+let test_make_prunes () =
+  let sg = fig1_sg () in
+  (* Drop all arcs out of state 2 except Ack-: states behind Req+ at s2
+     remain reachable through other paths; dropping Req+ from s2 keeps
+     graph connected but removes an arc. *)
+  let stg = sg.Sg.stg in
+  let succ =
+    Array.init (Sg.n_states sg) (fun s ->
+        Array.to_list sg.Sg.succ.(s)
+        |> List.filter (fun (tr, _) ->
+               not (s = 2 && Stg.label stg tr = Core.lab stg "Req+")))
+  in
+  let sg' =
+    Sg.make ~stg ~markings:sg.Sg.markings ~codes:sg.Sg.codes ~succ
+      ~initial:sg.Sg.initial
+  in
+  check_int "one state pruned" 4 (Sg.n_states sg');
+  check "initial preserved" true (sg'.Sg.initial = 0)
+
+let test_signature_canonical () =
+  let sg1 = fig1_sg () in
+  let sg2 = fig1_sg () in
+  Alcotest.(check string) "same signature" (Sg.signature sg1) (Sg.signature sg2);
+  (* A reduced SG has a different signature. *)
+  let stg = Specs.fig1 () in
+  match
+    Reduction.fwd_red sg1 ~a:(Core.lab stg "Ack-") ~b:(Core.lab stg "Req+")
+  with
+  | Ok reduced ->
+      check "differs after reduction" false
+        (String.equal (Sg.signature reduced) (Sg.signature sg1))
+  | Error _ -> Alcotest.fail "reduction should apply"
+
+let test_enabled_labels () =
+  let stg = Specs.fig1 () in
+  let sg = Gen.sg_exn stg in
+  let labs = Sg.enabled_labels sg sg.Sg.initial in
+  check_int "one label enabled initially" 1 (List.length labs);
+  check "it is Ack+" true (List.hd labs = Core.lab stg "Ack+");
+  check "succ_by_label" true
+    (List.length (Sg.succ_by_label sg sg.Sg.initial (Core.lab stg "Ack+")) = 1)
+
+(* Properties over generated families. *)
+
+let prop_rings_implementable =
+  QCheck.Test.make ~name:"rings are consistent and speed-independent"
+    ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 0 2))
+    (fun (n, inputs) ->
+      QCheck.assume (inputs <= n);
+      let sg = Gen.sg_exn (Gen.ring ~inputs n) in
+      Sg.is_speed_independent sg
+      && Sg.n_states sg = 2 * n
+      && Sg.deadlocks sg = [] && Sg.concurrent_pairs sg = [])
+
+let prop_forkjoin_concurrency =
+  QCheck.Test.make
+    ~name:"fork-join: branch events are pairwise concurrent" ~count:10
+    QCheck.(int_range 2 5)
+    (fun width ->
+      let stg = Gen.fork_join width in
+      let sg = Gen.sg_exn stg in
+      let ok = ref (Sg.is_speed_independent sg) in
+      for i = 0 to width - 1 do
+        for j = i + 1 to width - 1 do
+          let a = Core.lab stg (Printf.sprintf "w%d+" i) in
+          let b = Core.lab stg (Printf.sprintf "w%d+" j) in
+          ok := !ok && Sg.concurrent sg a b
+        done
+      done;
+      !ok)
+
+let prop_codes_consistent =
+  QCheck.Test.make
+    ~name:"codes: every arc flips exactly its signal's bit" ~count:20
+    QCheck.(int_range 1 5)
+    (fun width ->
+      let stg = Gen.fork_join width in
+      let sg = Gen.sg_exn stg in
+      let ok = ref true in
+      for s = 0 to Sg.n_states sg - 1 do
+        Array.iter
+          (fun (tr, s') ->
+            match Stg.label stg tr with
+            | Stg.Edge (sigid, _) ->
+                for v = 0 to Stg.n_signals stg - 1 do
+                  let same = Sg.value sg s v = Sg.value sg s' v in
+                  ok := !ok && if v = sigid then not same else same
+                done
+            | Stg.Dummy _ -> ())
+          sg.Sg.succ.(s)
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 generation" `Quick test_fig1_generation;
+    Alcotest.test_case "fig1 properties" `Quick test_fig1_properties;
+    Alcotest.test_case "fig1 ER and concurrency" `Quick test_fig1_er_concurrency;
+    Alcotest.test_case "ER components" `Quick test_er_components;
+    Alcotest.test_case "inconsistent a+ a+" `Quick test_inconsistent_plus_plus;
+    Alcotest.test_case "state budget" `Quick test_budget_exceeded;
+    Alcotest.test_case "toggle double cycle" `Quick test_toggle_double_cycle;
+    Alcotest.test_case "nondeterminism detection" `Quick test_nondeterministic_sg;
+    Alcotest.test_case "persistency violation" `Quick test_persistency_violation;
+    Alcotest.test_case "input choice allowed" `Quick test_input_choice_is_ok;
+    Alcotest.test_case "make prunes unreachable" `Quick test_make_prunes;
+    Alcotest.test_case "canonical signature" `Quick test_signature_canonical;
+    Alcotest.test_case "enabled labels" `Quick test_enabled_labels;
+    QCheck_alcotest.to_alcotest prop_rings_implementable;
+    QCheck_alcotest.to_alcotest prop_forkjoin_concurrency;
+    QCheck_alcotest.to_alcotest prop_codes_consistent;
+  ]
+
+(* ---- more edge cases ---- *)
+
+let test_er_components_instances () =
+  (* fig8's b~ has two instances in different regions of the SG: its ER
+     has more than one connected component. *)
+  let stg = Specs.fig8 () in
+  let sg = Gen.sg_exn stg in
+  let comps = Sg.er_components sg (Core.lab stg "b~") in
+  check "multiple components" true (List.length comps >= 2);
+  (* Components partition the ER. *)
+  let er = Sg.er sg (Core.lab stg "b~") in
+  check_int "partition" (List.length er)
+    (List.fold_left (fun acc c -> acc + List.length c) 0 comps)
+
+let test_commutativity_negative () =
+  (* Two orders of concurrent events reaching different states: build the
+     SG by hand via Sg.make on a small artificial structure. *)
+  let stg = Specs.fig1 () in
+  let base = Gen.sg_exn stg in
+  (* Corrupt: redirect the diamond's closing arc so orders disagree.
+     States: 2 -Ack--> 4 and 2 -Req+-> 3; 4 -Req+-> 0, 3 -Ack--> 0.
+     Point 3's Ack- to state 1 instead: orders now differ. *)
+  let succ =
+    Array.init (Sg.n_states base) (fun s ->
+        Array.to_list base.Sg.succ.(s)
+        |> List.map (fun (tr, s') ->
+               if s = 3 && Stg.label stg tr = Core.lab stg "Ack-" then (tr, 1)
+               else (tr, s')))
+  in
+  let broken =
+    Sg.make ~stg ~markings:base.Sg.markings ~codes:base.Sg.codes ~succ
+      ~initial:base.Sg.initial
+  in
+  check "not commutative" false (Sg.is_commutative broken)
+
+let test_code_accessors () =
+  let sg = fig1_sg () in
+  check "code is 2 chars" true (String.length (Sg.code sg 0) = 2);
+  check "display at least as long" true
+    (String.length (Sg.code_display sg 0) >= 2);
+  Alcotest.(check (list int)) "states list" [ 0; 1; 2; 3; 4 ] (Sg.states sg)
+
+let test_weak_bisim_vs_signature () =
+  (* Equal signatures imply weak bisimilarity (no dummies here). *)
+  let sg1 = fig1_sg () and sg2 = fig1_sg () in
+  check "signature equal" true
+    (String.equal (Sg.signature sg1) (Sg.signature sg2));
+  check "weakly bisimilar" true (Sg.weak_bisimilar sg1 sg2)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "ER components with instances" `Quick
+        test_er_components_instances;
+      Alcotest.test_case "commutativity negative" `Quick
+        test_commutativity_negative;
+      Alcotest.test_case "code accessors" `Quick test_code_accessors;
+      Alcotest.test_case "signature vs weak bisim" `Quick
+        test_weak_bisim_vs_signature;
+    ]

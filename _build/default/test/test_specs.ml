@@ -1,0 +1,101 @@
+(* Tests for the benchmark specification fixtures and the corpus. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_fixture_sanity () =
+  check_int "fig1 states" 5 (Sg.n_states (Gen.sg_exn (Specs.fig1 ())));
+  check_int "fig8 states" 32 (Sg.n_states (Gen.sg_exn (Specs.fig8 ())));
+  check_int "LR 4-phase states" 16
+    (Sg.n_states (Gen.sg_exn (Expansion.four_phase Specs.lr)));
+  check_int "PAR 4-phase states" 76
+    (Sg.n_states (Gen.sg_exn (Expansion.four_phase Specs.par)));
+  check_int "MMU 4-phase states" 216
+    (Sg.n_states (Gen.sg_exn (Expansion.four_phase Specs.mmu)))
+
+let test_scripts_apply () =
+  let stg = Expansion.four_phase Specs.lr in
+  let sg = Gen.sg_exn stg in
+  let both script =
+    snd (Search.apply_script sg script) |> List.length
+  in
+  check_int "Q-module script fully applies" 2
+    (both (Specs.lr_qmodule_script stg));
+  check_int "full-reduction script fully applies" 2
+    (both (Specs.lr_full_reduction_script stg));
+  check_int "four pairwise rows" 4 (List.length (Specs.lr_pairwise_rows stg))
+
+let test_mmu_rows () =
+  let stg = Expansion.four_phase Specs.mmu in
+  let rows = Specs.mmu_keep3_rows stg in
+  check_int "four keep-3 rows" 4 (List.length rows);
+  List.iter
+    (fun (_, keeps) -> check_int "three protected pairs" 3 (List.length keeps))
+    rows
+
+let test_corpus_all_valid () =
+  let entries = Specs.Corpus.all () in
+  check_int "seven controllers" 7 (List.length entries);
+  List.iter
+    (fun (name, stg) ->
+      match Sg.of_stg stg with
+      | Ok sg ->
+          check (name ^ " deterministic") true (Sg.is_deterministic sg);
+          check (name ^ " deadlock-free") true (Sg.deadlocks sg = [])
+      | Error e ->
+          Alcotest.failf "%s invalid: %s" name
+            (Format.asprintf "%a" Sg.pp_error e))
+    entries
+
+let test_corpus_synthesizes () =
+  (* Every corpus controller completes the whole flow with a verified
+     netlist. *)
+  List.iter
+    (fun (name, stg) ->
+      let sg = Gen.sg_exn stg in
+      let r = Core.implement ~max_csc:8 ~name sg in
+      check (name ^ " implements") true (r.Core.area <> None);
+      check (name ^ " verified") true (r.Core.verified = Some true))
+    (Specs.Corpus.all ())
+
+let test_corpus_find () =
+  check "find works" true
+    (Petri.n_trans (Specs.Corpus.find "buffer").Stg.net = 4);
+  check "find raises" true
+    (match Specs.Corpus.find "nonsense" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun (name, stg) ->
+      let stg' = Stg.Io.parse (Stg.Io.print stg) in
+      match (Sg.of_stg stg, Sg.of_stg stg') with
+      | Ok a, Ok b ->
+          check (name ^ " roundtrips") true
+            (String.equal (Sg.signature a) (Sg.signature b))
+      | _, _ -> Alcotest.failf "%s does not roundtrip" name)
+    (Specs.Corpus.all ())
+
+let test_dot_output () =
+  let dot = Stg.Io.to_dot (Specs.Corpus.find "buffer") in
+  let contains needle =
+    let nh = String.length dot and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub dot i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "digraph header" true (contains "digraph stg {");
+  check "input shaded" true (contains "fillcolor=lightgrey");
+  check "transition label" true (contains "label=\"out+\"")
+
+let suite =
+  [
+    Alcotest.test_case "fixture sanity" `Quick test_fixture_sanity;
+    Alcotest.test_case "scripts apply" `Quick test_scripts_apply;
+    Alcotest.test_case "MMU rows" `Quick test_mmu_rows;
+    Alcotest.test_case "corpus valid" `Quick test_corpus_all_valid;
+    Alcotest.test_case "corpus synthesizes" `Slow test_corpus_synthesizes;
+    Alcotest.test_case "corpus find" `Quick test_corpus_find;
+    Alcotest.test_case "corpus roundtrip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+  ]
