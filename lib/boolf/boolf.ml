@@ -35,7 +35,10 @@ module Cube = struct
         else '0')
 
   let equal c1 c2 = c1.care = c2.care && c1.value = c2.value
-  let compare = compare
+
+  let compare c1 c2 =
+    let c = Int.compare c1.care c2.care in
+    if c <> 0 then c else Int.compare c1.value c2.value
 
   let popcount x =
     let rec loop x acc = if x = 0 then acc else loop (x lsr 1) (acc + (x land 1)) in
@@ -92,64 +95,114 @@ module Cover = struct
     | cover -> String.concat " + " (List.map (Cube.render ~names) cover)
 end
 
+(* Does [cube] cover some OFF minterm?  Two strategies over the same
+   OFF-set: when the cube has few free variables, enumerate its minterms
+   and probe the membership set (2^free probes); otherwise scan the OFF
+   array.  Always the cheaper of the two — the previous code rescanned the
+   whole OFF list for every (minterm, variable) pair. *)
+let covers_some_off ~n ~off_arr ~off_mem cube =
+  let free_mask = ((1 lsl n) - 1) land lnot cube.Cube.care in
+  let free_bits = Cube.popcount free_mask in
+  if free_bits < 62 && 1 lsl free_bits <= Array.length off_arr then begin
+    (* enumerate sub-masks of free_mask, including 0 *)
+    let rec loop sub =
+      off_mem (cube.Cube.value lor sub)
+      || (sub <> 0 && loop ((sub - 1) land free_mask))
+    in
+    loop free_mask
+  end
+  else Array.exists (fun o -> Cube.covers cube o) off_arr
+
 (* Expand minterm [m] to a prime implicant w.r.t. the OFF-set: greedily drop
    literals (lowest variable first) while no OFF minterm becomes covered. *)
-let expand_against_off ~n ~off m =
+let expand_against_off ~n ~off_arr ~off_mem m =
   let cube = ref (Cube.of_minterm ~n m) in
   for v = 0 to n - 1 do
     let candidate = Cube.free !cube v in
-    if not (List.exists (fun o -> Cube.covers candidate o) off) then
+    if not (covers_some_off ~n ~off_arr ~off_mem candidate) then
       cube := candidate
   done;
   !cube
 
+(* Hashed membership of the OFF-set.  For small variable counts the perfect
+   direct-address table (a 2^n-bit bitset) beats a [Hashtbl]: constant-time
+   probes with no hashing, and the whole table fits in a few cache lines.
+   [minimize] is the inner loop of the search's cost function, so the
+   per-call setup must stay cheap. *)
+let off_membership ~n off_arr =
+  if n <= 16 && Array.for_all (fun m -> m >= 0 && m < 1 lsl n) off_arr then begin
+    let bits = Bytes.make (((1 lsl n) + 7) lsr 3) '\000' in
+    Array.iter
+      (fun m ->
+        let i = m lsr 3 in
+        Bytes.unsafe_set bits i
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get bits i) lor (1 lsl (m land 7)))))
+      off_arr;
+    let size = 1 lsl n in
+    fun m ->
+      m >= 0 && m < size
+      && Char.code (Bytes.unsafe_get bits (m lsr 3)) land (1 lsl (m land 7))
+         <> 0
+  end
+  else begin
+    let tbl = Hashtbl.create (2 * max 1 (Array.length off_arr)) in
+    Array.iter (fun m -> Hashtbl.replace tbl m ()) off_arr;
+    fun m -> Hashtbl.mem tbl m
+  end
+
 let minimize ~n ~on ~off =
   if n > 62 then invalid_arg "Boolf.minimize: more than 62 variables";
-  (match List.find_opt (fun m -> List.mem m off) on with
+  let off_arr = Array.of_list off in
+  let off_mem = off_membership ~n off_arr in
+  (match List.find_opt off_mem on with
   | Some m ->
       invalid_arg
         (Printf.sprintf "Boolf.minimize: minterm %d in both ON and OFF" m)
   | None -> ());
-  let on = List.sort_uniq compare on in
-  let primes = List.map (expand_against_off ~n ~off) on in
+  let on = List.sort_uniq Int.compare on in
+  let primes = List.map (expand_against_off ~n ~off_arr ~off_mem) on in
   let primes = List.sort_uniq Cube.compare primes in
-  (* Greedy set cover of ON minterms. *)
-  let uncovered = Hashtbl.create 64 in
-  List.iter (fun m -> Hashtbl.replace uncovered m ()) on;
-  let gain cube =
-    Hashtbl.fold
-      (fun m () acc -> if Cube.covers cube m then acc + 1 else acc)
-      uncovered 0
-  in
+  (* Greedy set cover of ON minterms, over flag arrays: the sets are small
+     and this runs in the search's cost function, so no per-round hash
+     tables.  Ties on (gain, -literals) keep the first candidate in
+     [primes] order, as before. *)
+  let on_arr = Array.of_list on in
+  let covered = Array.make (Array.length on_arr) false in
+  let uncovered = ref (Array.length on_arr) in
+  let prime_arr = Array.of_list primes in
+  let used = Array.make (Array.length prime_arr) false in
   let chosen = ref [] in
-  let rec loop candidates =
-    if Hashtbl.length uncovered = 0 then ()
-    else
-      let scored =
-        List.map (fun c -> (gain c, -Cube.literals c, c)) candidates
-      in
-      let best =
-        List.fold_left
-          (fun acc x ->
-            match acc with
-            | None -> Some x
-            | Some (g, l, _) ->
-                let g', l', _ = x in
-                if (g', l') > (g, l) then Some x else acc)
-          None scored
-      in
-      match best with
-      | None | Some (0, _, _) ->
-          (* Cannot happen: every ON minterm has its own prime. *)
-          assert (Hashtbl.length uncovered = 0)
-      | Some (_, _, cube) ->
-          chosen := cube :: !chosen;
-          Hashtbl.iter
-            (fun m () -> if Cube.covers cube m then Hashtbl.remove uncovered m)
-            (Hashtbl.copy uncovered);
-          loop (List.filter (fun c -> not (Cube.equal c cube)) candidates)
-  in
-  loop primes;
+  while !uncovered > 0 do
+    let best = ref None in
+    Array.iteri
+      (fun i c ->
+        if not used.(i) then begin
+          let g = ref 0 in
+          Array.iteri
+            (fun j m -> if (not covered.(j)) && Cube.covers c m then incr g)
+            on_arr;
+          let key = (!g, -Cube.literals c) in
+          match !best with
+          | Some (bk, _, _) when bk >= key -> ()
+          | Some _ | None -> if !g > 0 then best := Some (key, i, c)
+        end)
+      prime_arr;
+    match !best with
+    | None ->
+        (* Cannot happen: every ON minterm has its own prime. *)
+        assert (!uncovered = 0)
+    | Some (_, i, cube) ->
+        used.(i) <- true;
+        chosen := cube :: !chosen;
+        Array.iteri
+          (fun j m ->
+            if (not covered.(j)) && Cube.covers cube m then begin
+              covered.(j) <- true;
+              decr uncovered
+            end)
+          on_arr
+  done;
   List.sort Cube.compare !chosen
 
 let estimate_literals ~n ~on ~off = Cover.literals (minimize ~n ~on ~off)

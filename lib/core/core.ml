@@ -13,6 +13,10 @@ type report = {
   mapped_area : int option;
       (* area after technology mapping (Techmap); None when no
          implementation was produced *)
+  feasible : bool option;
+      (* Some false: a max_cycle bound was given to the search and no
+         configuration met it -- the report describes a bound-violating
+         fallback.  None when no bound applied. *)
 }
 
 let opt_str = function Some v -> string_of_int v | None -> "-"
@@ -24,9 +28,12 @@ let verified_str = function
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%-18s area=%-5s csc=%-3s cycle=%-4s inp=%-3s states=%-5d verified=%s"
+    "%-18s area=%-5s csc=%-3s cycle=%-4s inp=%-3s states=%-5d verified=%s%s"
     r.name (opt_str r.area) (opt_str r.csc_signals) (opt_str r.critical_cycle)
     (opt_str r.input_events) r.states (verified_str r.verified)
+    (match r.feasible with
+    | Some false -> " INFEASIBLE(cycle bound)"
+    | Some true | None -> "")
 
 let render_table ~title reports =
   let buf = Buffer.create 512 in
@@ -62,6 +69,7 @@ let implement ?delays ?(max_csc = 6) ?(style = `Complex_gate) ~name sg =
         reductions = [];
         verified = None;
         mapped_area = None;
+        feasible = None;
       }
   | Ok resolution ->
       let impl = Logic.synthesize ~style resolution.Csc.sg in
@@ -108,6 +116,7 @@ let implement ?delays ?(max_csc = 6) ?(style = `Complex_gate) ~name sg =
           (match Techmap.map_impl impl with
           | m -> Some m.Techmap.area
           | exception Invalid_argument _ -> None);
+        feasible = None;
       }
 
 (* A reduced SG no longer matches its backing STG; realize a new STG
@@ -141,17 +150,30 @@ let implement_realized ?delays ?max_csc ?style ~name reduced applied =
           reductions = applied;
           verified = None;
           mapped_area = None;
+          feasible = None;
         }
 
 let implement_reduced ?delays ?max_csc ?style ~name sg script =
   let reduced, applied = Search.apply_script sg script in
   implement_realized ?delays ?max_csc ?style ~name reduced applied
 
-let optimize ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc ~name sg =
-  let outcome = Search.optimize ?w ?size_frontier ?keep_conc sg in
+let optimize ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc ?perf_delays
+    ?max_cycle ~name sg =
+  let outcome =
+    Search.optimize ?w ?size_frontier ?keep_conc ?perf_delays ?max_cycle sg
+  in
   let best = outcome.Search.best in
-  implement_realized ?delays ?max_csc ?style ~name best.Search.sg
-    best.Search.applied
+  let r =
+    implement_realized ?delays ?max_csc ?style ~name best.Search.sg
+      best.Search.applied
+  in
+  {
+    r with
+    feasible =
+      (match max_cycle with
+      | Some _ -> Some outcome.Search.feasible
+      | None -> None);
+  }
 
 let sg_exn ?budget stg =
   match Sg.of_stg ?budget stg with

@@ -28,6 +28,11 @@ type report = {
   mapped_area : int option;
       (** area after technology mapping ({!Techmap.map_impl}); always at
           most [area] *)
+  feasible : bool option;
+      (** outcome of a performance-constrained {!optimize}: [Some false]
+          means no configuration met the [max_cycle] bound and the report
+          describes the bound-violating initial fallback; [None] when no
+          bound was requested. *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -59,7 +64,9 @@ val implement_reduced :
   report
 
 (** [optimize ~name sg] — run the Fig. 9 beam search and implement the best
-    configuration found. *)
+    configuration found.  With [perf_delays] and [max_cycle], the search is
+    performance-constrained and the report's [feasible] field says whether
+    the bound was met (see {!Search.optimize}). *)
 val optimize :
   ?delays:(Stg.t -> Petri.trans -> int) ->
   ?max_csc:int ->
@@ -67,6 +74,8 @@ val optimize :
   ?w:float ->
   ?size_frontier:int ->
   ?keep_conc:Search.keep ->
+  ?perf_delays:(Stg.label -> int) ->
+  ?max_cycle:int ->
   name:string ->
   Sg.t ->
   report

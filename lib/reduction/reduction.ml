@@ -27,9 +27,10 @@ let back_reach sg ~within targets =
     end
   in
   List.iter visit targets;
+  let pred = Sg.pred sg in
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    Array.iter (fun (_, s') -> visit s') sg.Sg.pred.(s)
+    Array.iter (fun (_, s') -> visit s') pred.(s)
   done;
   let acc = ref [] in
   for s = sg.Sg.n - 1 downto 0 do
@@ -41,74 +42,53 @@ let label_is_input stg = function
   | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
   | Stg.Dummy _ -> false
 
-(* Labels present on arcs reachable from the initial state, given a succ
-   structure over the original state space. *)
-let reachable_arc_labels stg n succ initial =
-  let seen_state = Array.make n false in
-  let labels = Hashtbl.create 16 in
-  let queue = Queue.create () in
-  seen_state.(initial) <- true;
-  Queue.add initial queue;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
-    let visit (tr, s') =
-      Hashtbl.replace labels (Stg.label stg tr) ();
-      if not seen_state.(s') then begin
-        seen_state.(s') <- true;
-        Queue.add s' queue
-      end
-    in
-    List.iter visit succ.(s)
-  done;
-  (labels, seen_state)
-
-(* Shared validity pipeline (Def. 5.1): given modified successor lists over
-   the original state space, check no event vanishes, no deadlock appears,
-   and persistency is preserved; build the pruned SG. *)
-let validate_and_build sg succ =
-  let stg = sg.Sg.stg in
-  let old_labels, _ =
-    reachable_arc_labels stg sg.Sg.n
-      (Array.map Array.to_list sg.Sg.succ)
-      sg.Sg.initial
-  in
-  let new_labels, reachable =
-    reachable_arc_labels stg sg.Sg.n succ sg.Sg.initial
-  in
+(* Def. 5.1 validity checks over an already-pruned candidate
+   ({!Sg.make_mapped_arcs} prunes unreachable states in one BFS): the
+   reachable label set can only shrink under arc removal, so vanishing is
+   the source's cached {!Sg.arc_label_instances} minus the reduced one,
+   and a new deadlock is a reduced state with no successors whose source
+   state had some.  Kept separate from the build so the search can dedup
+   candidates by signature before paying for the checks. *)
+let validate ~source (reduced, old_of_new) =
+  (* Transitions still firing somewhere in the pruned graph: a plain sweep
+     ([Petri.trans] is a dense int), no hashing. *)
+  let seen_tr = Array.make (Petri.n_trans source.Sg.stg.Stg.net) false in
+  Array.iter
+    (Array.iter (fun (tr, _) -> seen_tr.(tr) <- true))
+    reduced.Sg.succ;
   let vanished =
-    Hashtbl.fold
-      (fun lab () acc ->
-        if Hashtbl.mem new_labels lab then acc else lab :: acc)
-      old_labels []
+    List.find_opt
+      (fun (_, trs) -> not (List.exists (fun tr -> seen_tr.(tr)) trs))
+      (Sg.arc_label_instances source)
   in
   match vanished with
-  | lab :: _ -> Error (Event_vanishes lab)
-  | [] -> (
+  | Some (lab, _) -> Error (Event_vanishes lab)
+  | None -> (
       let deadlock = ref None in
-      for s = 0 to sg.Sg.n - 1 do
+      for s_new = Sg.n_states reduced - 1 downto 0 do
         if
-          reachable.(s) && succ.(s) = []
-          && Array.length sg.Sg.succ.(s) > 0
-          && !deadlock = None
-        then deadlock := Some s
+          Array.length reduced.Sg.succ.(s_new) = 0
+          && Array.length source.Sg.succ.(old_of_new.(s_new)) > 0
+        then deadlock := Some old_of_new.(s_new)
       done;
       match !deadlock with
       | Some s -> Error (Deadlock_introduced s)
       | None -> (
-          let reduced =
-            Sg.make ~stg ~markings:sg.Sg.markings ~codes:sg.Sg.codes ~succ
-              ~initial:sg.Sg.initial
-          in
-          match Sg.persistency_violations reduced with
-          | [] -> Ok reduced
-          | v :: _ ->
-              if Sg.is_output_persistent sg then Error (Persistency_broken v)
+          match Sg.first_persistency_violation reduced with
+          | None -> Ok reduced
+          | Some v ->
+              if Sg.is_output_persistent source then
+                Error (Persistency_broken v)
               else
                 (* The source was not speed-independent; Prop. 6.1 does not
                    apply, accept the reduction as-is. *)
                 Ok reduced))
 
-let fwd_red sg ~a ~b =
+let build_pruned sg succ =
+  Sg.make_mapped_arcs ~unconstrained:sg.Sg.unconstrained ~stg:sg.Sg.stg
+    ~markings:sg.Sg.markings ~codes:sg.Sg.codes ~succ ~initial:sg.Sg.initial
+
+let fwd_red_built sg ~a ~b =
   let stg = sg.Sg.stg in
   if label_is_input stg a then Error Input_event
   else
@@ -119,17 +99,35 @@ let fwd_red sg ~a ~b =
     if inter = [] then Error Not_concurrent
     else begin
       let removed = back_reach sg ~within:era inter in
-      let drop = Array.make sg.Sg.n false in
-      List.iter (fun s -> drop.(s) <- true) removed;
-      let succ =
-        Array.init sg.Sg.n (fun s ->
-            let arcs = Array.to_list sg.Sg.succ.(s) in
-            if drop.(s) then
-              List.filter (fun (tr, _) -> Stg.label stg tr <> a) arcs
-            else arcs)
-      in
-      validate_and_build sg succ
+      (* [a]-arcs originate exactly in ER(a): dropping them from all of
+         ER(a) makes [a] vanish — reject before building anything. *)
+      if List.compare_lengths removed era = 0 then Error (Event_vanishes a)
+      else begin
+      (* unmodified rows are shared with the source, not copied *)
+      let succ = Array.copy sg.Sg.succ in
+      List.iter
+        (fun s ->
+          let row = sg.Sg.succ.(s) in
+          let out = Array.copy row in
+          let k = ref 0 in
+          Array.iter
+            (fun ((tr, _) as arc) ->
+              if Stg.label stg tr <> a then begin
+                out.(!k) <- arc;
+                incr k
+              end)
+            row;
+          succ.(s) <-
+            (if !k = Array.length row then out else Array.sub out 0 !k))
+        removed;
+      Ok (build_pruned sg succ)
+      end
     end
+
+let fwd_red sg ~a ~b =
+  match fwd_red_built sg ~a ~b with
+  | Error e -> Error e
+  | Ok cand -> validate ~source:sg cand
 
 (* The more general single-state reduction of [3]: remove the arcs of one
    event from ONE state only, provided the event remains enabled elsewhere.
@@ -140,32 +138,32 @@ let remove_arc sg ~state ~a =
   else if not (List.mem a (Sg.enabled_labels sg state)) then
     Error Not_concurrent
   else begin
-    let succ =
-      Array.init sg.Sg.n (fun s ->
-          let arcs = Array.to_list sg.Sg.succ.(s) in
-          if s = state then
-            List.filter (fun (tr, _) -> Stg.label stg tr <> a) arcs
-          else arcs)
-    in
-    validate_and_build sg succ
+    let succ = Array.copy sg.Sg.succ in
+    succ.(state) <-
+      Array.of_list
+        (List.filter
+           (fun (tr, _) -> Stg.label stg tr <> a)
+           (Array.to_list sg.Sg.succ.(state)));
+    validate ~source:sg (build_pruned sg succ)
   end
 
 let creates_arc sg ~a ~b =
   let era = Sg.er sg a in
+  let pred = Sg.pred sg in
   let in_era = Array.make sg.Sg.n false in
   List.iter (fun s -> in_era.(s) <- true) era;
   (* minimal in ER: no predecessor inside the ER *)
   let minimal s =
-    not (Array.exists (fun (_, sp) -> in_era.(sp)) sg.Sg.pred.(s))
+    not (Array.exists (fun (_, sp) -> in_era.(sp)) pred.(s))
   in
   let minimals = List.filter minimal era in
   minimals <> []
   && List.for_all
        (fun s ->
-         Array.length sg.Sg.pred.(s) > 0
+         Array.length pred.(s) > 0
          && Array.for_all
               (fun (tr, _) -> Stg.label sg.Sg.stg tr = b)
-              sg.Sg.pred.(s))
+              pred.(s))
        minimals
 
 (* Which of two labels can fire first from the initial state: explore until

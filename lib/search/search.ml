@@ -8,6 +8,7 @@ type config = {
 
 type outcome = {
   best : config;
+  feasible : bool;
   initial : config;
   explored : int;
   levels : int;
@@ -17,7 +18,7 @@ type keep = (Stg.label * Stg.label) list
 
 let evaluate ?(w = 0.5) ?(csc_weight = 8.0) sg =
   let logic_estimate = Logic.estimate sg in
-  let csc_pairs = List.length (Sg.csc_conflicts sg) in
+  let csc_pairs = Sg.csc_conflict_count sg in
   let cost =
     (w *. float_of_int logic_estimate)
     +. ((1.0 -. w) *. csc_weight *. float_of_int csc_pairs)
@@ -28,8 +29,13 @@ let in_keep keep a b =
   List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) keep
 
 (* Candidate reductions from one SG: FwdRed(e2, e1) for every concurrent
-   pair with e2 not an input, (e1,e2) not protected. *)
-let neighbours ?(keep_conc = []) cfg =
+   pair with e2 not an input, (e1,e2) not protected.  [skip], given the
+   built-but-unvalidated candidate, says it is already known (the search
+   passes its signature dedup): a skipped candidate is dropped without
+   paying for the Def. 5.1 validity checks.  Sound because checks are a
+   deterministic function of (source, candidate) — a candidate can only
+   be "seen" if an identical one was already processed. *)
+let neighbours ?(keep_conc = []) ?(skip = fun _ -> false) cfg =
   let sg = cfg.sg in
   let stg = sg.Sg.stg in
   let pairs = Sg.concurrent_pairs sg in
@@ -44,21 +50,21 @@ let neighbours ?(keep_conc = []) cfg =
   let keeps_protected sg' =
     List.for_all (fun (x, y) -> Sg.concurrent sg' x y) keep_conc
   in
+  let try_one acc a b =
+    if is_input a then acc
+    else
+      match Reduction.fwd_red_built sg ~a ~b with
+      | Error _ -> acc
+      | Ok ((cand, _) as built) -> (
+          if skip cand then acc
+          else
+            match Reduction.validate ~source:sg built with
+            | Ok sg' when keeps_protected sg' -> (sg', (a, b)) :: acc
+            | Ok _ | Error _ -> acc)
+  in
   let try_red acc (a, b) =
     if in_keep keep_conc a b then acc
-    else
-      let acc =
-        if is_input a then acc
-        else
-          match Reduction.fwd_red sg ~a ~b with
-          | Ok sg' when keeps_protected sg' -> (sg', (a, b)) :: acc
-          | Ok _ | Error _ -> acc
-      in
-      if is_input b then acc
-      else
-        match Reduction.fwd_red sg ~a:b ~b:a with
-        | Ok sg' when keeps_protected sg' -> (sg', (b, a)) :: acc
-        | Ok _ | Error _ -> acc
+    else try_one (try_one acc a b) b a
   in
   List.fold_left try_red [] pairs
 
@@ -76,9 +82,12 @@ let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
         | Error _ -> false)
     | (Some _ | None), _ -> true
   in
-  let eval sg applied =
+  (* During the search, [applied] holds the reduction script in REVERSE
+     order (cons instead of O(n) append per step); it is put back in
+     application order when the outcome is materialized. *)
+  let eval sg applied_rev =
     let c = evaluate ~w ~csc_weight sg in
-    { c with applied }
+    { c with applied = applied_rev }
   in
   let initial = eval sg0 [] in
   let seen = Hashtbl.create 64 in
@@ -90,7 +99,11 @@ let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   while !frontier <> [] && !levels < max_levels do
     incr levels;
     let expand acc cfg =
-      let next = neighbours ~keep_conc cfg in
+      let next =
+        neighbours ~keep_conc
+          ~skip:(fun cand -> Hashtbl.mem seen (Sg.signature cand))
+          cfg
+      in
       List.fold_left
         (fun acc (sg', step) ->
           let key = Sg.signature sg' in
@@ -100,7 +113,7 @@ let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
             if not (meets_perf sg') then acc
             else begin
               incr explored;
-              let cfg' = eval sg' (cfg.applied @ [ step ]) in
+              let cfg' = eval sg' (step :: cfg.applied) in
               (match !best with
               | Some b when cfg'.cost >= b.cost -> ()
               | Some _ | None -> best := Some cfg');
@@ -113,8 +126,12 @@ let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     let sorted = List.sort (fun c1 c2 -> compare c1.cost c2.cost) nexts in
     frontier := List.filteri (fun i _ -> i < size_frontier) sorted
   done;
-  let best = match !best with Some b -> b | None -> initial in
-  { best; initial; explored = !explored; levels = !levels }
+  let best, feasible =
+    match !best with
+    | Some b -> ({ b with applied = List.rev b.applied }, true)
+    | None -> (initial, false)
+  in
+  { best; feasible; initial; explored = !explored; levels = !levels }
 
 let apply_script sg script =
   let step (sg, done_) (a, b) =
@@ -126,25 +143,22 @@ let apply_script sg script =
   (sg, List.rev done_)
 
 let reduce_fully ?(w = 0.5) ?(keep_conc = []) sg0 =
+  (* As in [optimize], [applied] is accumulated in reverse during the
+     descent and reversed once at the end. *)
   let rec loop cfg =
     match neighbours ~keep_conc cfg with
     | [] -> cfg
     | next ->
-        let scored =
-          List.map
-            (fun (sg', step) ->
-              let c = evaluate ~w sg' in
-              ({ c with applied = cfg.applied @ [ step ] }, step))
-            next
-        in
         let best =
           List.fold_left
-            (fun acc (c, _) ->
+            (fun acc (sg', step) ->
+              let c = { (evaluate ~w sg') with applied = step :: cfg.applied } in
               match acc with
               | None -> Some c
               | Some b -> if c.cost < b.cost then Some c else acc)
-            None scored
+            None next
         in
         (match best with None -> cfg | Some b -> loop b)
   in
-  loop { (evaluate ~w sg0) with applied = [] }
+  let final = loop { (evaluate ~w sg0) with applied = [] } in
+  { final with applied = List.rev final.applied }

@@ -18,6 +18,12 @@ type config = {
 
 type outcome = {
   best : config;  (** cheapest configuration found anywhere *)
+  feasible : bool;
+      (** [best] meets the performance bound.  [false] only when a
+          [max_cycle] bound was given and NO explored configuration
+          (including the initial one) satisfied it; [best] then falls back
+          to [initial] and violates the bound — callers must check this
+          flag before trusting [best]. *)
   initial : config;  (** the starting point, for before/after reporting *)
   explored : int;  (** number of distinct SGs evaluated *)
   levels : int;  (** depth of the search *)
@@ -35,7 +41,8 @@ type keep = (Stg.label * Stg.label) list
     When both [perf_delays] and [max_cycle] are given, configurations whose
     timed replay ({!Timing.analyze_sg}) exceeds the cycle bound are
     discarded — performance-constrained reshuffling.  When no configuration
-    meets the bound, [best] falls back to the initial one. *)
+    meets the bound, [best] falls back to the initial one and the outcome's
+    [feasible] flag is [false]. *)
 val optimize :
   ?w:float ->
   ?size_frontier:int ->

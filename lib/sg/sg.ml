@@ -1,13 +1,52 @@
 type state = int
 
+(* Memoized analyses, filled on first use.  Sound because a [t] is
+   immutable after construction: the record is [private] outside this
+   module and no function mutates the graph arrays (see DESIGN.md,
+   "Analysis cache"). *)
+type conc_rel = {
+  conc_labels : Stg.label array;
+  conc_idx : (Stg.label, int) Hashtbl.t;
+  conc_mat : Bytes.t;  (** row-major nlab x nlab, ['\001'] = concurrent *)
+}
+
+type cache = {
+  mutable c_pred : (Petri.trans * state) array array option;
+      (** reverse arc index, derived from [succ] on first backward walk *)
+  mutable c_enabled : Stg.label array array option;
+  mutable c_controlled : Stg.label list option array option;
+      (** per-state memo, filled lazily: only USC-conflicting states are
+          ever asked for their controlled labels *)
+  mutable c_ers : (Stg.label, state list) Hashtbl.t option;
+  mutable c_conc : conc_rel option;
+  mutable c_arc_labels : (Stg.label * Petri.trans list) list option;
+  mutable c_signature : string option;
+  mutable c_csc_count : int option;
+  mutable c_persistent : bool option;
+}
+
+let fresh_cache () =
+  {
+    c_pred = None;
+    c_enabled = None;
+    c_controlled = None;
+    c_ers = None;
+    c_conc = None;
+    c_arc_labels = None;
+    c_signature = None;
+    c_csc_count = None;
+    c_persistent = None;
+  }
+
 type t = {
   stg : Stg.t;
   n : int;
   markings : Petri.marking array;
   codes : Bytes.t array;
   succ : (Petri.trans * state) array array;
-  pred : (Petri.trans * state) array array;
   initial : state;
+  unconstrained : int list;
+  cache : cache;
 }
 
 type error = Inconsistent of string | Unbounded of int
@@ -26,13 +65,22 @@ end)
 exception Inconsistency of string
 
 (* Infer initial values from per-state parities and enabledness, and derive
-   the binary codes; raises Inconsistency on contradiction. *)
-let encode stg parity succ =
+   the binary codes; raises Inconsistency on contradiction.  [overrides]
+   pins initial values up front (still checked against the inferred
+   constraints).  Signals left unconstrained by both default to 0 and are
+   reported in the second component. *)
+let encode ?(overrides = []) stg parity succ =
   let nsig = Stg.n_signals stg in
   let n = Array.length parity in
   (* Infer initial values from enabledness: a+ enabled in s means
      v0 xor parity = 0; a- means 1. *)
   let v0 = Array.make nsig (-1) in
+  List.iter
+    (fun (sigid, v) ->
+      if v <> 0 && v <> 1 then
+        invalid_arg "Sg: initial_values entries must be 0 or 1";
+      v0.(sigid) <- v)
+    overrides;
   let constrain sigid want s tr =
     let v = want lxor parity.(s).(sigid) in
     if v0.(sigid) = -1 then v0.(sigid) <- v
@@ -52,6 +100,10 @@ let encode stg parity succ =
     in
     List.iter check succ.(s)
   done;
+  let unconstrained = ref [] in
+  for sigid = nsig - 1 downto 0 do
+    if v0.(sigid) = -1 then unconstrained := sigid :: !unconstrained
+  done;
   let codes =
     Array.init n (fun s ->
         let bytes = Bytes.create nsig in
@@ -61,21 +113,15 @@ let encode stg parity succ =
         done;
         bytes)
   in
-  codes
+  (codes, !unconstrained)
 
-let index_arcs n succ_l =
-  let succ = Array.map Array.of_list succ_l in
-  let pred_l = Array.make n [] in
-  Array.iteri
-    (fun s arcs ->
-      Array.iter (fun (tr, s') -> pred_l.(s') <- (tr, s) :: pred_l.(s')) arcs)
-    succ;
-  (succ, Array.map Array.of_list pred_l)
+let default_warn msg = Printf.eprintf "sg: warning: %s\n%!" msg
 
 (* A state is a (marking, signal parity) pair: an STG with toggle events
    (2-phase refinements) revisits markings with flipped signal values, which
    are distinct SG states. *)
-let of_stg ?(budget = 200_000) stg =
+let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
+    stg =
   let net = stg.Stg.net in
   let nsig = Stg.n_signals stg in
   let index = Hashtbl.create 1024 in
@@ -136,13 +182,45 @@ let of_stg ?(budget = 200_000) stg =
       (fun (s, tr, s') -> succ_l.(s) <- (tr, s') :: succ_l.(s))
       !arcs_rev;
     Array.iteri (fun s l -> succ_l.(s) <- List.rev l) succ_l;
-    match encode stg parities succ_l with
-    | codes ->
-        let succ, pred = index_arcs n succ_l in
-        Ok { stg; n; markings; codes; succ; pred; initial = s0 }
+    let overrides =
+      List.map
+        (fun (name, v) ->
+          match Stg.signal_of_name stg name with
+          | sigid -> (sigid, v)
+          | exception Not_found ->
+              invalid_arg
+                (Printf.sprintf "Sg.of_stg: unknown signal %s in initial_values"
+                   name))
+        initial_values
+    in
+    match encode ~overrides stg parities succ_l with
+    | codes, unconstrained ->
+        List.iter
+          (fun sigid ->
+            let s = Stg.signal stg sigid in
+            if not (Stg.Signal.is_input s) then
+              warn
+                (Printf.sprintf
+                   "initial value of %s signal %s is unconstrained by the \
+                    specification; defaulting to 0 (pass ~initial_values to \
+                    pin it)"
+                   (Format.asprintf "%a" Stg.Signal.pp_kind s.Stg.Signal.kind)
+                   s.Stg.Signal.name))
+          unconstrained;
+        Ok
+          {
+            stg;
+            n;
+            markings;
+            codes;
+            succ = Array.map Array.of_list succ_l;
+            initial = s0;
+            unconstrained;
+            cache = fresh_cache ();
+          }
     | exception Inconsistency msg -> Error (Inconsistent msg)
 
-let make ~stg ~markings ~codes ~succ ~initial =
+let make_mapped_arcs ~unconstrained ~stg ~markings ~codes ~succ ~initial =
   let n_old = Array.length markings in
   (* BFS from initial over the given arcs to find reachable states. *)
   let remap = Array.make n_old (-1) in
@@ -162,25 +240,37 @@ let make ~stg ~markings ~codes ~succ ~initial =
         Queue.add s' queue
       end
     in
-    List.iter visit succ.(s)
+    Array.iter visit succ.(s)
   done;
   let old_of_new = Array.of_list (List.rev !order) in
   let n = !count in
-  let succ_l =
+  (* Build the renumbered arc arrays directly — this runs once per search
+     candidate, so no intermediate cons lists. *)
+  let succ_arr =
     Array.init n (fun s_new ->
-        let s_old = old_of_new.(s_new) in
-        List.map (fun (tr, s') -> (tr, remap.(s'))) succ.(s_old))
+        Array.map
+          (fun (tr, s') -> (tr, remap.(s')))
+          succ.(old_of_new.(s_new)))
   in
-  let succ_arr, pred_arr = index_arcs n succ_l in
-  {
-    stg;
-    n;
-    markings = Array.map (fun s -> markings.(s)) old_of_new;
-    codes = Array.map (fun s -> codes.(s)) old_of_new;
-    succ = succ_arr;
-    pred = pred_arr;
-    initial = 0;
-  }
+  ( {
+      stg;
+      n;
+      markings = Array.map (fun s -> markings.(s)) old_of_new;
+      codes = Array.map (fun s -> codes.(s)) old_of_new;
+      succ = succ_arr;
+      initial = 0;
+      unconstrained;
+      cache = fresh_cache ();
+    },
+    old_of_new )
+
+let make_mapped ~unconstrained ~stg ~markings ~codes ~succ ~initial =
+  make_mapped_arcs ~unconstrained ~stg ~markings ~codes
+    ~succ:(Array.map Array.of_list succ)
+    ~initial
+
+let make ~unconstrained ~stg ~markings ~codes ~succ ~initial =
+  fst (make_mapped ~unconstrained ~stg ~markings ~codes ~succ ~initial)
 
 let n_states sg = sg.n
 
@@ -189,14 +279,63 @@ let code sg s = Bytes.to_string sg.codes.(s)
 let value sg s sigid =
   if Bytes.get sg.codes.(s) sigid = '1' then 1 else 0
 
-let enabled_labels sg s =
-  let seen = ref [] in
-  Array.iter
-    (fun (tr, _) ->
-      let lab = Stg.label sg.stg tr in
-      if not (List.mem lab !seen) then seen := lab :: !seen)
-    sg.succ.(s);
-  List.rev !seen
+(* Reverse arc index, derived from [succ] on first use and cached.  Most
+   SGs built during the reduction search are evaluated (cost function,
+   signature) and discarded without ever walking backwards, so building
+   the index eagerly at construction was pure waste on the hot path. *)
+let pred sg =
+  match sg.cache.c_pred with
+  | Some p -> p
+  | None ->
+      let cnt = Array.make sg.n 0 in
+      Array.iter
+        (Array.iter (fun (_, s') -> cnt.(s') <- cnt.(s') + 1))
+        sg.succ;
+      let pred_arr = Array.init sg.n (fun s -> Array.make cnt.(s) (0, 0)) in
+      let pos = Array.make sg.n 0 in
+      Array.iteri
+        (fun s arcs ->
+          Array.iter
+            (fun (tr, s') ->
+              pred_arr.(s').(pos.(s')) <- (tr, s);
+              pos.(s') <- pos.(s') + 1)
+            arcs)
+        sg.succ;
+      sg.cache.c_pred <- Some pred_arr;
+      pred_arr
+
+(* Per-state enabled-label arrays (deduplicated, first-seen order),
+   computed once per SG. *)
+let enabled_arrays sg =
+  match sg.cache.c_enabled with
+  | Some e -> e
+  | None ->
+      let e =
+        Array.map
+          (fun arcs ->
+            (* in-place prefix dedup — state out-degrees are tiny *)
+            let a = Array.map (fun (tr, _) -> Stg.label sg.stg tr) arcs in
+            let k = ref 0 in
+            Array.iter
+              (fun lab ->
+                let dup = ref false in
+                for j = 0 to !k - 1 do
+                  if a.(j) = lab then dup := true
+                done;
+                if not !dup then begin
+                  a.(!k) <- lab;
+                  incr k
+                end)
+              a;
+            if !k = Array.length a then a else Array.sub a 0 !k)
+          sg.succ
+      in
+      sg.cache.c_enabled <- Some e;
+      e
+
+let enabled_labels sg s = Array.to_list (enabled_arrays sg).(s)
+
+let unconstrained_signals sg = sg.unconstrained
 
 let code_display sg s =
   let nsig = Stg.n_signals sg.stg in
@@ -260,14 +399,15 @@ let label_is_controlled stg lab =
   | Stg.Dummy _ -> false
 
 let persistency_violations sg =
+  let enabled = enabled_arrays sg in
   let viols = ref [] in
   for s = 0 to sg.n - 1 do
-    let enabled = enabled_labels sg s in
+    let here = enabled.(s) in
     let after (tr, s') =
       let by = Stg.label sg.stg tr in
-      let enabled' = enabled_labels sg s' in
+      let there = enabled.(s') in
       let check lab =
-        if lab <> by && not (List.mem lab enabled') then begin
+        if lab <> by && not (Array.mem lab there) then begin
           (* lab was disabled by firing [by]. Violation if lab is an
              output/internal event, or lab is an input disabled by an
              output/internal. *)
@@ -276,20 +416,77 @@ let persistency_violations sg =
           if lab_ctl || by_ctl then viols := (s, lab, by) :: !viols
         end
       in
-      List.iter check enabled
+      Array.iter check here
     in
     Array.iter after sg.succ.(s)
   done;
   List.rev !viols
 
-let is_output_persistent sg = persistency_violations sg = []
+(* First violation in the order [persistency_violations] reports them, or
+   [None]: what reduction's validity check needs, without accumulating the
+   full list on every candidate. *)
+exception Found_violation of (state * Stg.label * Stg.label)
+
+let first_persistency_violation sg =
+  let enabled = enabled_arrays sg in
+  try
+    for s = 0 to sg.n - 1 do
+      let here = enabled.(s) in
+      let after (tr, s') =
+        let by = Stg.label sg.stg tr in
+        let there = enabled.(s') in
+        let check lab =
+          if
+            lab <> by
+            && (not (Array.mem lab there))
+            && (label_is_controlled sg.stg lab
+               || label_is_controlled sg.stg by)
+          then raise (Found_violation (s, lab, by))
+        in
+        Array.iter check here
+      in
+      Array.iter after sg.succ.(s)
+    done;
+    None
+  with Found_violation v -> Some v
+
+(* Memoized: reduction re-asks this of the unchanged source SG for every
+   candidate that breaks persistency (Prop. 6.1 only applies to
+   speed-independent sources). *)
+let is_output_persistent sg =
+  match sg.cache.c_persistent with
+  | Some p -> p
+  | None ->
+      let p = first_persistency_violation sg = None in
+      sg.cache.c_persistent <- Some p;
+      p
 
 let is_speed_independent sg =
   is_deterministic sg && is_commutative sg && is_output_persistent sg
 
-let controlled_enabled sg s =
-  enabled_labels sg s |> List.filter (label_is_controlled sg.stg)
-  |> List.sort compare
+(* Sorted controlled-label list of one state, memoized per state.  Lazy on
+   purpose: CSC conflict detection only needs it for the (few) states that
+   share a code, so precomputing all states would dominate the search. *)
+let controlled_labels sg s =
+  let memo =
+    match sg.cache.c_controlled with
+    | Some m -> m
+    | None ->
+        let m = Array.make sg.n None in
+        sg.cache.c_controlled <- Some m;
+        m
+  in
+  match memo.(s) with
+  | Some l -> l
+  | None ->
+      let l =
+        Array.to_list (enabled_arrays sg).(s)
+        |> List.filter (label_is_controlled sg.stg)
+        |> List.sort compare
+      in
+      memo.(s) <- Some l;
+      l
+
 
 let group_by_code sg =
   let tbl = Hashtbl.create sg.n in
@@ -318,18 +515,154 @@ let usc_conflicts sg =
 let csc_conflicts sg =
   usc_conflicts sg
   |> List.filter (fun (s, s') ->
-         controlled_enabled sg s <> controlled_enabled sg s')
+         controlled_labels sg s <> controlled_labels sg s')
 
-let has_csc sg = csc_conflicts sg = []
+(* Controlled-enabled set of one state packed as an int bitmask (bit
+   [3*sigid + direction]): dummies are never controlled, so every
+   controlled label is an [Edge] and the packing is total when
+   [3*nsig <= 62].  Set equality of controlled label sets is then int
+   equality. *)
+let controlled_mask sg s =
+  Array.fold_left
+    (fun m lab ->
+      match lab with
+      | Stg.Edge (sigid, dir)
+        when not (Stg.Signal.is_input (Stg.signal sg.stg sigid)) ->
+          let d =
+            match dir with Stg.Plus -> 0 | Stg.Minus -> 1 | Stg.Toggle -> 2
+          in
+          m lor (1 lsl ((3 * sigid) + d))
+      | Stg.Edge _ | Stg.Dummy _ -> m)
+    0
+    (enabled_arrays sg).(s)
 
-let er sg lab =
-  let acc = ref [] in
-  for s = sg.n - 1 downto 0 do
-    if
-      Array.exists (fun (tr, _) -> Stg.label sg.stg tr = lab) sg.succ.(s)
-    then acc := s :: !acc
-  done;
-  !acc
+(* Same count as [List.length (csc_conflicts sg)] — this is in the search
+   cost function's inner loop.  Equal codes are grouped by sorting, not
+   hashing; when everything fits (codes in [62 - log2 n] bits, controlled
+   sets in 62 bits) the sort is over plain int keys [code << log2n | s]
+   and the conflict test compares bitmasks. *)
+let csc_conflict_count sg =
+  match sg.cache.c_csc_count with
+  | Some c -> c
+  | None ->
+      let nsig = Stg.n_signals sg.stg in
+      let log2n =
+        let k = ref 0 in
+        while 1 lsl !k < sg.n do
+          incr k
+        done;
+        !k
+      in
+      let count = ref 0 in
+      if nsig + log2n <= 62 && 3 * nsig <= 62 then begin
+        let keys =
+          Array.init sg.n (fun s ->
+              let code = sg.codes.(s) in
+              let c = ref 0 in
+              for i = 0 to nsig - 1 do
+                c := (!c lsl 1) lor (Char.code (Bytes.get code i) land 1)
+              done;
+              (!c lsl log2n) lor s)
+        in
+        Array.sort (fun (a : int) b -> compare a b) keys;
+        let masks = Array.make sg.n (-1) in
+        let mask s =
+          if masks.(s) >= 0 then masks.(s)
+          else begin
+            let m = controlled_mask sg s in
+            masks.(s) <- m;
+            m
+          end
+        in
+        let lim = (1 lsl log2n) - 1 in
+        let i = ref 0 in
+        while !i < sg.n do
+          let c0 = keys.(!i) lsr log2n in
+          let j = ref (!i + 1) in
+          while !j < sg.n && keys.(!j) lsr log2n = c0 do
+            incr j
+          done;
+          if !j - !i > 1 then
+            for a = !i to !j - 2 do
+              for b = a + 1 to !j - 1 do
+                if mask (keys.(a) land lim) <> mask (keys.(b) land lim) then
+                  incr count
+              done
+            done;
+          i := !j
+        done
+      end
+      else begin
+        let idx = Array.init sg.n Fun.id in
+        Array.sort
+          (fun s1 s2 -> Bytes.compare sg.codes.(s1) sg.codes.(s2))
+          idx;
+        let i = ref 0 in
+        while !i < sg.n do
+          let j = ref (!i + 1) in
+          while
+            !j < sg.n && Bytes.equal sg.codes.(idx.(!i)) sg.codes.(idx.(!j))
+          do
+            incr j
+          done;
+          if !j - !i > 1 then
+            for a = !i to !j - 2 do
+              for b = a + 1 to !j - 1 do
+                if controlled_labels sg idx.(a) <> controlled_labels sg idx.(b)
+                then incr count
+              done
+            done;
+          i := !j
+        done
+      end;
+      sg.cache.c_csc_count <- Some !count;
+      !count
+
+let has_csc sg = csc_conflict_count sg = 0
+
+(* All excitation regions in one sweep: a state belongs to ER(lab) exactly
+   when lab is among its enabled labels. *)
+let er_table sg =
+  match sg.cache.c_ers with
+  | Some t -> t
+  | None ->
+      let enabled = enabled_arrays sg in
+      let tbl = Hashtbl.create 32 in
+      for s = sg.n - 1 downto 0 do
+        Array.iter
+          (fun lab ->
+            let prev = try Hashtbl.find tbl lab with Not_found -> [] in
+            Hashtbl.replace tbl lab (s :: prev))
+          enabled.(s)
+      done;
+      sg.cache.c_ers <- Some tbl;
+      tbl
+
+let er sg lab = try Hashtbl.find (er_table sg) lab with Not_found -> []
+
+(* Distinct labels on arcs, each with all the STG transitions carrying it.
+   Every state of a [t] is reachable from [initial] by construction
+   ([of_stg] explores only reachable states, [make] prunes), so this is
+   exactly the set of reachable arc labels — reduction's vanish check. *)
+let arc_label_instances sg =
+  match sg.cache.c_arc_labels with
+  | Some l -> l
+  | None ->
+      let seen = Hashtbl.create 32 in
+      let order = ref [] in
+      Array.iter
+        (Array.iter (fun (tr, _) ->
+             let lab = Stg.label sg.stg tr in
+             if not (Hashtbl.mem seen lab) then begin
+               Hashtbl.replace seen lab ();
+               order := lab :: !order
+             end))
+        sg.succ;
+      let l =
+        List.rev_map (fun lab -> (lab, Stg.instances sg.stg lab)) !order
+      in
+      sg.cache.c_arc_labels <- Some l;
+      l
 
 let er_components sg lab =
   let members = er sg lab in
@@ -352,7 +685,7 @@ let er_components sg lab =
         end
       in
       Array.iter (fun (_, s') -> visit s') sg.succ.(s);
-      Array.iter (fun (_, s') -> visit s') sg.pred.(s)
+      Array.iter (fun (_, s') -> visit s') (pred sg).(s)
     done
   in
   List.iter (fun s -> if comp.(s) = -1 then bfs s) members;
@@ -361,35 +694,73 @@ let er_components sg lab =
     (List.rev members);
   Array.to_list (Array.map List.rev buckets)
 
+(* The full label-level concurrency relation in a single sweep over states
+   (Def. 2.1): for every state and every unordered pair of its outgoing
+   arcs s -a-> s1, s -b-> s2 with a <> b, the labels are concurrent when
+   some s1 -b-> x and s2 -a-> x close the diamond.  The check is symmetric
+   in the arc pair, so each pair is examined once; already-established
+   entries are skipped.  This replaces the per-pair whole-graph rescans of
+   the previous [concurrent] (O(labels^2 x states)). *)
+let conc_rel sg =
+  match sg.cache.c_conc with
+  | Some r -> r
+  | None ->
+      let conc_labels = Array.of_list (Stg.all_labels sg.stg) in
+      let nlab = Array.length conc_labels in
+      let conc_idx = Hashtbl.create (2 * max 1 nlab) in
+      Array.iteri (fun i lab -> Hashtbl.replace conc_idx lab i) conc_labels;
+      let conc_mat = Bytes.make (nlab * nlab) '\000' in
+      for s = 0 to sg.n - 1 do
+        let arcs = sg.succ.(s) in
+        let deg = Array.length arcs in
+        for i = 0 to deg - 1 do
+          let tri, si = arcs.(i) in
+          let a = Stg.label sg.stg tri in
+          let ia = Hashtbl.find conc_idx a in
+          for j = i + 1 to deg - 1 do
+            let trj, sj = arcs.(j) in
+            let b = Stg.label sg.stg trj in
+            if b <> a then begin
+              let ib = Hashtbl.find conc_idx b in
+              if Bytes.get conc_mat ((ia * nlab) + ib) = '\000' then begin
+                let xs = succ_by_label sg si b in
+                if
+                  List.exists
+                    (fun y -> List.mem y xs)
+                    (succ_by_label sg sj a)
+                then begin
+                  Bytes.set conc_mat ((ia * nlab) + ib) '\001';
+                  Bytes.set conc_mat ((ib * nlab) + ia) '\001'
+                end
+              end
+            end
+          done
+        done
+      done;
+      let r = { conc_labels; conc_idx; conc_mat } in
+      sg.cache.c_conc <- Some r;
+      r
+
 let concurrent sg a b =
   if a = b then false
   else
-    let rec scan s =
-      if s >= sg.n then false
-      else
-        let s2s = succ_by_label sg s a and s3s = succ_by_label sg s b in
-        let diamond s2 s3 =
-          let s4a = succ_by_label sg s2 b and s4b = succ_by_label sg s3 a in
-          List.exists (fun x -> List.mem x s4b) s4a
-        in
-        if List.exists (fun s2 -> List.exists (diamond s2) s3s) s2s then true
-        else scan (s + 1)
-    in
-    scan 0
+    let r = conc_rel sg in
+    match (Hashtbl.find_opt r.conc_idx a, Hashtbl.find_opt r.conc_idx b) with
+    | Some ia, Some ib ->
+        Bytes.get r.conc_mat ((ia * Array.length r.conc_labels) + ib) = '\001'
+    | (Some _ | None), _ -> false
 
 let concurrent_pairs sg =
-  let labels = Stg.all_labels sg.stg in
-  let rec pairs acc = function
-    | [] -> List.rev acc
-    | a :: rest ->
-        let acc =
-          List.fold_left
-            (fun acc b -> if concurrent sg a b then (a, b) :: acc else acc)
-            acc rest
-        in
-        pairs acc rest
-  in
-  pairs [] labels
+  let r = conc_rel sg in
+  let nlab = Array.length r.conc_labels in
+  let acc = ref [] in
+  for i = nlab - 1 downto 0 do
+    for j = nlab - 1 downto i + 1 do
+      if Bytes.get r.conc_mat ((i * nlab) + j) = '\001' then
+        acc := (r.conc_labels.(i), r.conc_labels.(j)) :: !acc
+    done
+  done;
+  !acc
 
 let deadlocks sg =
   let acc = ref [] in
@@ -400,13 +771,51 @@ let deadlocks sg =
 
 let states sg = List.init sg.n Fun.id
 
-let signature sg =
+(* Per-transition label names and their rank in sorted-name order, shared
+   by every signature computation over the same STG (reduction search
+   builds thousands of SGs over one STG).  Keyed by physical equality; a
+   one-entry memo suffices because a search works one STG at a time. *)
+let sig_tables_memo : (Stg.t * (string array * string array * int array)) option ref =
+  ref None
+
+let sig_tables stg =
+  match !sig_tables_memo with
+  | Some (s, t) when s == stg -> t
+  | _ ->
+      let names =
+        Array.map (fun lab -> Stg.label_name stg lab) stg.Stg.labels
+      in
+      let sorted = Array.copy names in
+      Array.sort compare sorted;
+      let rank_of nm =
+        let lo = ref 0 and hi = ref (Array.length sorted - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if sorted.(mid) < nm then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let t = (names, sorted, Array.map rank_of names) in
+      sig_tables_memo := Some (stg, t);
+      t
+
+let compute_signature sg =
   (* Canonical BFS renumbering with deterministic tie-breaking on
      (label-name, old target id is NOT canonical — instead order children by
      label then by discovery).  For deterministic SGs this yields a canonical
      form; for nondeterministic ones it is still a sound dedup key (may
-     distinguish isomorphic graphs, never conflates distinct ones). *)
+     distinguish isomorphic graphs, never conflates distinct ones).
+
+     Arcs are ordered by (name rank, old target): rank order equals
+     lexicographic name order and equal names share a rank, so the result
+     is byte-identical to sorting (name, old target) pairs — without any
+     string comparisons in the loop. *)
+  let _, sorted_names, rank = sig_tables sg.stg in
   let buf = Buffer.create (sg.n * 8) in
+  let rec add_int i =
+    if i >= 10 then add_int (i / 10);
+    Buffer.add_char buf (Char.chr (Char.code '0' + (i mod 10)))
+  in
   let remap = Array.make sg.n (-1) in
   let queue = Queue.create () in
   remap.(sg.initial) <- 0;
@@ -415,27 +824,36 @@ let signature sg =
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
     let arcs =
-      Array.to_list sg.succ.(s)
-      |> List.map (fun (tr, s') -> (Stg.label_name sg.stg (Stg.label sg.stg tr), s'))
-      |> List.sort compare
+      Array.map (fun (tr, s') -> (rank.(tr) * sg.n) + s') sg.succ.(s)
     in
-    let emit (name, s') =
+    (* keys are small nonnegative ints, so subtraction cannot overflow *)
+    Array.sort (fun a b -> a - b) arcs;
+    let emit key =
+      let s' = key mod sg.n in
       if remap.(s') = -1 then begin
         remap.(s') <- !count;
         incr count;
         Queue.add s' queue
       end;
-      Buffer.add_string buf name;
+      Buffer.add_string buf sorted_names.(key / sg.n);
       Buffer.add_char buf '>';
-      Buffer.add_string buf (string_of_int remap.(s'));
+      add_int remap.(s');
       Buffer.add_char buf ';'
     in
-    Buffer.add_string buf (string_of_int remap.(s));
+    add_int remap.(s);
     Buffer.add_char buf ':';
-    List.iter emit arcs;
+    Array.iter emit arcs;
     Buffer.add_char buf '|'
   done;
   Buffer.contents buf
+
+let signature sg =
+  match sg.cache.c_signature with
+  | Some s -> s
+  | None ->
+      let s = compute_signature sg in
+      sg.cache.c_signature <- Some s;
+      s
 
 let pp ppf sg =
   Format.fprintf ppf "SG: %d states, %d arcs, initial %s" sg.n

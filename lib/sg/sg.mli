@@ -6,6 +6,11 @@
 
 type state = int
 
+(** Memoized analyses (enabled labels, excitation regions, the concurrency
+    relation, signature, CSC-conflict count), filled on first use.  Safe
+    because a [t] is immutable once built; see DESIGN.md. *)
+type cache
+
 type t = private {
   stg : Stg.t;
   n : int;  (** number of states *)
@@ -13,8 +18,12 @@ type t = private {
   codes : Bytes.t array;
       (** [codes.(s)] — one byte per signal, ['0'] or ['1']. *)
   succ : (Petri.trans * state) array array;
-  pred : (Petri.trans * state) array array;
   initial : state;
+  unconstrained : int list;
+      (** signals whose initial value was not constrained by any +/− edge
+          and was defaulted to 0; signals pinned via [initial_values] are
+          not included *)
+  cache : cache;
 }
 
 type error =
@@ -23,15 +32,35 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [of_stg ?budget stg] generates the SG by exhaustive token-game
-    exploration and computes a consistent binary encoding (initial signal
-    values are inferred from transition enabledness; unconstrained signals
-    default to 0). *)
-val of_stg : ?budget:int -> Stg.t -> (t, error) result
+(** [of_stg ?budget ?initial_values ?warn stg] generates the SG by
+    exhaustive token-game exploration and computes a consistent binary
+    encoding.  Initial signal values are inferred from transition
+    enabledness; a signal never constrained by a +/− edge (e.g. a
+    toggle-only 2-phase signal) takes its value from [initial_values]
+    (signal name, 0/1) or defaults to 0, in which case [warn] (default:
+    stderr) is called for every non-input signal left unconstrained — a
+    genuinely underspecified encoding.  Overridden values are still checked
+    against the inferred constraints ([Inconsistent] on contradiction).
+    @raise Invalid_argument on an unknown signal name or a value outside
+    0/1 in [initial_values]. *)
+val of_stg :
+  ?budget:int ->
+  ?initial_values:(string * int) list ->
+  ?warn:(string -> unit) ->
+  Stg.t ->
+  (t, error) result
+
+(** Signals whose initial value was unconstrained at generation time (in
+    id order).  Empty for SGs built by {!make} from reduction, which
+    inherit the flag from their source unless overridden. *)
+val unconstrained_signals : t -> int list
 
 (** Rebuild an SG from explicit components, pruning states unreachable from
-    [initial] and renumbering.  Used by concurrency reduction. *)
+    [initial] and renumbering.  Used by concurrency reduction;
+    [unconstrained] carries {!unconstrained_signals} over from the source
+    SG ([[]] when rebuilding from scratch). *)
 val make :
+  unconstrained:int list ->
   stg:Stg.t ->
   markings:Petri.marking array ->
   codes:Bytes.t array ->
@@ -39,7 +68,38 @@ val make :
   initial:state ->
   t
 
+(** Like {!make}, and also returns the new→old state map (index = new id,
+    value = id in the input state space).  Reduction's validity checks use
+    it to relate the pruned graph back to its source. *)
+val make_mapped :
+  unconstrained:int list ->
+  stg:Stg.t ->
+  markings:Petri.marking array ->
+  codes:Bytes.t array ->
+  succ:(Petri.trans * state) list array ->
+  initial:state ->
+  t * state array
+
+(** {!make_mapped} over arc arrays: lets reduction pass the source's
+    unmodified successor rows through without a list round-trip (the input
+    arrays are not mutated or retained). *)
+val make_mapped_arcs :
+  unconstrained:int list ->
+  stg:Stg.t ->
+  markings:Petri.marking array ->
+  codes:Bytes.t array ->
+  succ:(Petri.trans * state) array array ->
+  initial:state ->
+  t * state array
+
 val n_states : t -> int
+
+(** Reverse arc index ([pred sg].(s) lists the incoming arcs of [s] as
+    [(transition, source)]), derived from [succ] on first use and cached:
+    the reduction search builds and discards many SGs that are never
+    walked backwards. *)
+val pred : t -> (Petri.trans * state) array array
+
 val code : t -> state -> string
 
 (** Code with an asterisk after every excited signal, e.g. ["1*0*"] — the
@@ -70,6 +130,12 @@ val is_commutative : t -> bool
     in [s] and is no longer enabled after firing [by]. *)
 val persistency_violations : t -> (state * Stg.label * Stg.label) list
 
+(** The first entry of {!persistency_violations}, or [None]; stops at the
+    first hit instead of accumulating the list (reduction validates every
+    search candidate with this). *)
+val first_persistency_violation :
+  t -> (state * Stg.label * Stg.label) option
+
 val is_output_persistent : t -> bool
 
 (** Determinism + commutativity + output persistency. *)
@@ -78,6 +144,10 @@ val is_speed_independent : t -> bool
 (** Pairs of distinct states with equal codes but different enabled
     output/internal label sets (CSC conflicts). *)
 val csc_conflicts : t -> (state * state) list
+
+(** [List.length (csc_conflicts sg)], memoized — the count the search cost
+    function needs at every evaluation. *)
+val csc_conflict_count : t -> int
 
 (** Pairs of distinct states with equal codes (USC conflicts). *)
 val usc_conflicts : t -> (state * state) list
@@ -93,11 +163,20 @@ val er : t -> Stg.label -> state list
     excitation region in the paper's maximal-connected-set sense). *)
 val er_components : t -> Stg.label -> state list list
 
+(** Distinct labels on arcs, each with all the STG transitions carrying the
+    label ({!Stg.instances}); cached.  Since every state of a [t] is
+    reachable, this is the set of reachable arc labels — the baseline for
+    reduction's event-vanishing check. *)
+val arc_label_instances : t -> (Stg.label * Petri.trans list) list
+
 (** [concurrent sg a b] — a diamond [s1 -a-> s2, s1 -b-> s3, s2 -b-> s4,
-    s3 -a-> s4] exists (Def. 2.1). *)
+    s3 -a-> s4] exists (Def. 2.1).  The full relation is computed in one
+    sweep over the states on first use and cached; subsequent queries are
+    O(1) lookups. *)
 val concurrent : t -> Stg.label -> Stg.label -> bool
 
-(** All unordered concurrent label pairs. *)
+(** All unordered concurrent label pairs (from the same cached relation),
+    in [Stg.all_labels] order. *)
 val concurrent_pairs : t -> (Stg.label * Stg.label) list
 
 (** {2 Utilities} *)

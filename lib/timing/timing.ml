@@ -16,7 +16,7 @@ type firing = { tr : Petri.trans; time : int; pred : int }
 type sim = {
   stg : Stg.t;
   delays : Petri.trans -> int;
-  tokens : (int * int) list array;  (** per place FIFO: arrival, producer *)
+  tokens : (int * int) Queue.t array;  (** per place FIFO: arrival, producer *)
   marking : Petri.marking;
   mutable firings : firing list;  (** reversed *)
   mutable n_firings : int;
@@ -25,11 +25,11 @@ type sim = {
 let sim_create stg delays =
   let net = stg.Stg.net in
   let n_places = Petri.n_places net in
-  let tokens = Array.make n_places [] in
+  let tokens = Array.init n_places (fun _ -> Queue.create ()) in
   let m0 = Petri.initial_marking net in
   for p = 0 to n_places - 1 do
     for _ = 1 to m0.(p) do
-      tokens.(p) <- tokens.(p) @ [ (0, -1) ]
+      Queue.add (0, -1) tokens.(p)
     done
   done;
   { stg; delays; tokens; marking = m0; firings = []; n_firings = 0 }
@@ -43,13 +43,13 @@ let pick sim =
       let start = ref (-1) and pred = ref (-1) in
       Array.iter
         (fun p ->
-          match sim.tokens.(p) with
-          | (arr, producer) :: _ ->
+          match Queue.peek_opt sim.tokens.(p) with
+          | Some (arr, producer) ->
               if arr > !start then begin
                 start := arr;
                 pred := producer
               end
-          | [] -> assert false)
+          | None -> assert false)
         net.Petri.pre.(t);
       let fire_at = !start + sim.delays t in
       match !best with
@@ -67,18 +67,16 @@ let step sim =
       let net = sim.stg.Stg.net in
       Array.iter
         (fun p ->
-          match sim.tokens.(p) with
-          | _ :: rest ->
-              sim.tokens.(p) <- rest;
-              sim.marking.(p) <- sim.marking.(p) - 1
-          | [] -> assert false)
+          match Queue.take_opt sim.tokens.(p) with
+          | Some _ -> sim.marking.(p) <- sim.marking.(p) - 1
+          | None -> assert false)
         net.Petri.pre.(t);
       let idx = sim.n_firings in
       sim.firings <- { tr = t; time = fire_at; pred } :: sim.firings;
       sim.n_firings <- idx + 1;
       Array.iter
         (fun p ->
-          sim.tokens.(p) <- sim.tokens.(p) @ [ (fire_at, idx) ];
+          Queue.add (fire_at, idx) sim.tokens.(p);
           sim.marking.(p) <- sim.marking.(p) + 1)
         net.Petri.post.(t);
       true
@@ -92,7 +90,7 @@ let snapshot sim now =
     (fun p toks ->
       Buffer.add_string buf (string_of_int p);
       Buffer.add_char buf ':';
-      List.iter
+      Queue.iter
         (fun (arr, _) ->
           Buffer.add_string buf (string_of_int (now - arr));
           Buffer.add_char buf ',')

@@ -133,12 +133,18 @@ let test_max_cycle_constraint () =
   check "tight costs at least as much" true
     (tight.Search.best.Search.logic_estimate
     >= loose.Search.best.Search.logic_estimate);
-  (* An unsatisfiable bound falls back to the initial configuration. *)
+  (* An unsatisfiable bound is reported as infeasible: [best] falls back to
+     the initial configuration for inspection, but [feasible] is false —
+     the silent bound-violating "best" of the previous implementation was a
+     bug. *)
   let impossible =
     Search.optimize ~perf_delays:delays ~max_cycle:1 sg
   in
   check "unsatisfiable bound falls back" true
-    (impossible.Search.best.Search.applied = [])
+    (impossible.Search.best.Search.applied = []);
+  check "unsatisfiable bound reported infeasible" false
+    impossible.Search.feasible;
+  check "satisfiable bound reported feasible" true tight.Search.feasible
 
 let suite =
   suite

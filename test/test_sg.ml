@@ -165,8 +165,8 @@ let test_make_prunes () =
                not (s = 2 && Stg.label stg tr = Core.lab stg "Req+")))
   in
   let sg' =
-    Sg.make ~stg ~markings:sg.Sg.markings ~codes:sg.Sg.codes ~succ
-      ~initial:sg.Sg.initial
+    Sg.make ~unconstrained:[] ~stg ~markings:sg.Sg.markings ~codes:sg.Sg.codes
+      ~succ ~initial:sg.Sg.initial
   in
   check_int "one state pruned" 4 (Sg.n_states sg');
   check "initial preserved" true (sg'.Sg.initial = 0)
@@ -296,8 +296,8 @@ let test_commutativity_negative () =
                else (tr, s')))
   in
   let broken =
-    Sg.make ~stg ~markings:base.Sg.markings ~codes:base.Sg.codes ~succ
-      ~initial:base.Sg.initial
+    Sg.make ~unconstrained:[] ~stg ~markings:base.Sg.markings
+      ~codes:base.Sg.codes ~succ ~initial:base.Sg.initial
   in
   check "not commutative" false (Sg.is_commutative broken)
 
@@ -325,4 +325,138 @@ let suite =
       Alcotest.test_case "code accessors" `Quick test_code_accessors;
       Alcotest.test_case "signature vs weak bisim" `Quick
         test_weak_bisim_vs_signature;
+    ]
+
+(* ---- cached concurrency relation vs direct Def. 2.1 diamonds ---- *)
+
+(* The pre-cache implementation: scan every state for a diamond
+   s -a-> s2, s -b-> s3, s2 -b-> x, s3 -a-> x.  The one-sweep cached
+   relation must agree with it on every label pair. *)
+let naive_concurrent sg a b =
+  a <> b
+  && List.exists
+       (fun s ->
+         let s2s = Sg.succ_by_label sg s a
+         and s3s = Sg.succ_by_label sg s b in
+         List.exists
+           (fun s2 ->
+             List.exists
+               (fun s3 ->
+                 let s4a = Sg.succ_by_label sg s2 b
+                 and s4b = Sg.succ_by_label sg s3 a in
+                 List.exists (fun x -> List.mem x s4b) s4a)
+               s3s)
+           s2s)
+       (Sg.states sg)
+
+let test_concurrency_matches_naive () =
+  let cases =
+    [
+      ("fig1", Gen.sg_exn (Specs.fig1 ()));
+      ("lr", Gen.sg_exn (Expansion.four_phase Specs.lr));
+      ("par", Gen.sg_exn (Expansion.four_phase Specs.par));
+      ("mmu", Gen.sg_exn (Expansion.four_phase Specs.mmu));
+    ]
+  in
+  List.iter
+    (fun (name, sg) ->
+      let labels = Stg.all_labels sg.Sg.stg in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              check
+                (Printf.sprintf "%s: %s || %s" name
+                   (Stg.label_name sg.Sg.stg a)
+                   (Stg.label_name sg.Sg.stg b))
+                (naive_concurrent sg a b) (Sg.concurrent sg a b))
+            labels)
+        labels)
+    cases
+
+(* ---- unconstrained initial values ---- *)
+
+(* Two toggle-only signals: no +/- edge ever constrains an initial value,
+   so the encoding is genuinely underspecified. *)
+let toggle_ring () =
+  let b = Petri.Builder.create () in
+  let ta = Petri.Builder.add_trans b ~name:"a~" in
+  let tb = Petri.Builder.add_trans b ~name:"b~" in
+  ignore (Petri.Builder.connect b ta tb ~name:"p1");
+  let home = Petri.Builder.add_place b ~name:"home" ~tokens:1 in
+  Petri.Builder.arc_tp b tb home;
+  Petri.Builder.arc_pt b home ta;
+  Stg.of_net ~inputs:[ "a" ] ~outputs:[ "b" ] (Petri.Builder.build b)
+
+let test_unconstrained_initial_values () =
+  let stg = toggle_ring () in
+  let warnings = ref [] in
+  let sg =
+    match Sg.of_stg ~warn:(fun m -> warnings := m :: !warnings) stg with
+    | Ok sg -> sg
+    | Error e -> Alcotest.failf "of_stg: %a" Sg.pp_error e
+  in
+  Alcotest.(check (list int))
+    "both signals unconstrained" [ 0; 1 ]
+    (Sg.unconstrained_signals sg);
+  (* only the non-input signal warrants a warning *)
+  check_int "exactly one warning" 1 (List.length !warnings);
+  check "warning names the output signal" true
+    (match !warnings with
+    | [ m ] ->
+        List.exists
+          (fun i -> String.length m >= i + 1 && m.[i] = 'b')
+          (List.init (String.length m) Fun.id)
+    | _ -> false);
+  check_int "defaulted a" 0 (Sg.value sg sg.Sg.initial 0);
+  check_int "defaulted b" 0 (Sg.value sg sg.Sg.initial 1)
+
+let test_initial_values_override () =
+  let stg = toggle_ring () in
+  let warnings = ref [] in
+  let sg =
+    match
+      Sg.of_stg
+        ~initial_values:[ ("b", 1) ]
+        ~warn:(fun m -> warnings := m :: !warnings)
+        stg
+    with
+    | Ok sg -> sg
+    | Error e -> Alcotest.failf "of_stg: %a" Sg.pp_error e
+  in
+  check_int "pinned b initially 1" 1 (Sg.value sg sg.Sg.initial 1);
+  Alcotest.(check (list int))
+    "pinned signal no longer unconstrained" [ 0 ]
+    (Sg.unconstrained_signals sg);
+  check "no warning once pinned" true (!warnings = [])
+
+let test_initial_values_conflict () =
+  (* fig1 constrains Req to 1 initially (Req- is enabled); pinning it to 0
+     must be rejected as inconsistent, pinning to 1 is a no-op. *)
+  let stg = Specs.fig1 () in
+  (match Sg.of_stg ~initial_values:[ ("Req", 0) ] stg with
+  | Error (Sg.Inconsistent _) -> ()
+  | Ok _ -> Alcotest.fail "conflicting override accepted"
+  | Error e -> Alcotest.failf "wrong error: %a" Sg.pp_error e);
+  (match Sg.of_stg ~initial_values:[ ("Req", 1) ] stg with
+  | Ok sg -> check_int "consistent override kept" 1 (Sg.value sg sg.Sg.initial 0)
+  | Error e -> Alcotest.failf "consistent override rejected: %a" Sg.pp_error e);
+  Alcotest.check_raises "unknown signal"
+    (Invalid_argument "Sg.of_stg: unknown signal zz in initial_values")
+    (fun () -> ignore (Sg.of_stg ~initial_values:[ ("zz", 1) ] stg));
+  Alcotest.check_raises "value out of range"
+    (Invalid_argument "Sg: initial_values entries must be 0 or 1") (fun () ->
+      ignore (Sg.of_stg ~initial_values:[ ("Req", 2) ] stg))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "concurrency matches naive diamonds" `Quick
+        test_concurrency_matches_naive;
+      Alcotest.test_case "unconstrained initial values" `Quick
+        test_unconstrained_initial_values;
+      Alcotest.test_case "initial value override" `Quick
+        test_initial_values_override;
+      Alcotest.test_case "initial value conflicts" `Quick
+        test_initial_values_conflict;
     ]
