@@ -2,8 +2,12 @@
    evaluation (see DESIGN.md for the experiment index) and then times the
    computational kernel of each with Bechamel.
 
-   Usage:  main.exe [section ...] [--no-timing]
-   Sections: fig1 fig2 table1 fig6 fig8 frontier par table2 (default: all) *)
+   Usage:  main.exe [section ...] [--no-timing] [--jobs N]
+   Sections: fig1 fig2 table1 fig6 fig8 frontier par table2 (default: all)
+   Extras:  --backend            print the pool backend and exit
+            --json [FILE]        PR 1 hot-path kernel timings
+            --json-pr2 [FILE]    sequential-vs-parallel search timings
+            --jobs N             pool width for `parallel` / --json-pr2 *)
 
 let section_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -487,6 +491,74 @@ let ablation () =
     (List.length after) (List.length on_arc)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel candidate evaluation: fan-out stats + seq-vs-par timing    *)
+
+(* Pool width for the [parallel] section and --json-pr2; set by --jobs. *)
+let requested_jobs = ref 4
+
+let parallel_specs () =
+  [
+    ("LR", Core.sg_exn (Expansion.four_phase Specs.lr), 0.8, 6);
+    ("PAR", Core.sg_exn (Expansion.four_phase Specs.par), 0.8, 4);
+    ("MMU", Core.sg_exn (Expansion.four_phase Specs.mmu), 0.8, 4);
+  ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let parallel_section () =
+  section_header
+    (Printf.sprintf
+       "Parallel candidate evaluation (backend=%s, --jobs %d, host cores=%d)"
+       Pool.backend !requested_jobs
+       (Pool.default_jobs ()));
+  let specs = parallel_specs () in
+  Pool.with_pool ~jobs:!requested_jobs (fun pool ->
+      Printf.printf "%-6s %8s %7s %10s %10s %8s  %s\n" "spec" "explored"
+        "levels" "seq(ms)" "par(ms)" "same" "per-level fan-out";
+      List.iter
+        (fun (name, sg, w, width) ->
+          let seq, t_seq =
+            wall (fun () -> Search.optimize ~w ~size_frontier:width sg)
+          in
+          let par, t_par =
+            wall (fun () -> Search.optimize ~pool ~w ~size_frontier:width sg)
+          in
+          let same =
+            seq.Search.best.Search.cost = par.Search.best.Search.cost
+            && seq.Search.best.Search.applied = par.Search.best.Search.applied
+            && seq.Search.explored = par.Search.explored
+            && seq.Search.fanout = par.Search.fanout
+            && String.equal
+                 (Sg.signature seq.Search.best.Search.sg)
+                 (Sg.signature par.Search.best.Search.sg)
+          in
+          Printf.printf "%-6s %8d %7d %10.2f %10.2f %8b  [%s]\n" name
+            seq.Search.explored seq.Search.levels (t_seq *. 1e3)
+            (t_par *. 1e3) same
+            (String.concat " " (List.map string_of_int par.Search.fanout)))
+        specs;
+      (* The batched driver: one pool shared across specs. *)
+      let reports, t_batch =
+        wall (fun () ->
+            Core.optimize_all ~pool ~w:0.8 ~size_frontier:4
+              (List.map (fun (n, sg, _, _) -> (n, sg)) specs))
+      in
+      Printf.printf
+        "optimize_all over %d specs (shared pool): %.2f ms, areas: %s\n"
+        (List.length reports) (t_batch *. 1e3)
+        (String.concat ", "
+           (List.map
+              (fun (r : Core.report) ->
+                r.Core.name ^ "="
+                ^ match r.Core.area with
+                  | Some a -> string_of_int a
+                  | None -> "-")
+              reports)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing of each table/figure kernel                         *)
 
 let bechamel_timings () =
@@ -683,6 +755,83 @@ let json_bench out_file =
   close_out oc;
   Printf.printf "wrote %s\n" out_file
 
+(* --json-pr2: sequential vs parallel Search.optimize on LR/PAR/MMU.
+   Sequential runs use no pool at all (the PR 1 hot path); parallel runs
+   share one pool of --jobs workers.  Speedup > 1 needs real cores: the
+   report records the host's recommended domain count so single-core
+   container numbers are interpretable. *)
+let json_pr2 out_file =
+  let specs = parallel_specs () in
+  let measure pool =
+    List.map
+      (fun (name, sg, w, width) ->
+        let f () = ignore (Search.optimize ?pool ~w ~size_frontier:width sg) in
+        let ns = time_ns f in
+        Printf.eprintf "%-4s %-10s %14.0f ns/run\n%!" name
+          (match pool with Some _ -> "parallel" | None -> "sequential")
+          ns;
+        (name, ns))
+      specs
+  in
+  Pool.with_pool ~jobs:!requested_jobs (fun pool ->
+      (* Alternate seq/par passes and keep per-kernel minima, the same
+         estimator as --json (background load drifts on a minutes scale). *)
+      let min_join a b =
+        List.map2 (fun (n, x) (_, y) -> (n, Float.min x y)) a b
+      in
+      let seq = ref (measure None) and par = ref (measure (Some pool)) in
+      for _ = 2 to 3 do
+        seq := min_join !seq (measure None);
+        par := min_join !par (measure (Some pool))
+      done;
+      let fanouts =
+        List.map
+          (fun (name, sg, w, width) ->
+            let o = Search.optimize ~pool ~w ~size_frontier:width sg in
+            (name, o.Search.fanout))
+          specs
+      in
+      let buf = Buffer.create 1024 in
+      let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      add "{\n";
+      add "  \"bench\": \"BENCH_PR2\",\n";
+      add "  \"units\": \"ns_per_run\",\n";
+      add "  \"backend\": \"%s\",\n" Pool.backend;
+      add "  \"jobs\": %d,\n" (Pool.jobs pool);
+      add "  \"host_recommended_domains\": %d,\n" (Pool.default_jobs ());
+      let emit_obj ?(fmt = format_of_string "%.0f") key entries last =
+        add "  \"%s\": {\n" key;
+        List.iteri
+          (fun i (name, v) ->
+            add
+              ("    \"search_optimize_%s\": " ^^ fmt ^^ "%s\n")
+              (String.lowercase_ascii name)
+              v
+              (if i = List.length entries - 1 then "" else ","))
+          entries;
+        add "  }%s\n" (if last then "" else ",")
+      in
+      emit_obj "sequential_jobs1" !seq false;
+      emit_obj (Printf.sprintf "parallel_jobs%d" (Pool.jobs pool)) !par false;
+      emit_obj ~fmt:"%.3f" "speedup"
+        (List.map2
+           (fun (n, s) (_, p) -> (n, if p > 0.0 then s /. p else 0.0))
+           !seq !par)
+        false;
+      add "  \"fanout\": {\n";
+      List.iteri
+        (fun i (name, fo) ->
+          add "    \"search_optimize_%s\": [%s]%s\n"
+            (String.lowercase_ascii name)
+            (String.concat ", " (List.map string_of_int fo))
+            (if i = List.length fanouts - 1 then "" else ","))
+        fanouts;
+      add "  }\n}\n";
+      let oc = open_out out_file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "wrote %s\n" out_file)
+
 (* ------------------------------------------------------------------ *)
 
 let sections =
@@ -698,10 +847,39 @@ let sections =
     ("corpus", corpus);
     ("pareto", pareto);
     ("ablation", ablation);
+    ("parallel", parallel_section);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--backend" args then begin
+    print_endline Pool.backend;
+    exit 0
+  end;
+  (* Extract `--jobs N` before anything else interprets the arguments. *)
+  let args =
+    let rec strip = function
+      | "--jobs" :: n :: rest ->
+          (match int_of_string_opt n with
+          | Some j when j >= 1 -> requested_jobs := j
+          | Some _ | None ->
+              Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+              exit 2);
+          strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  if List.mem "--json-pr2" args then begin
+    let out =
+      match List.filter (fun a -> a <> "--json-pr2") args with
+      | [ f ] -> f
+      | _ -> "BENCH_PR2.json"
+    in
+    json_pr2 out;
+    exit 0
+  end;
   if List.mem "--json" args then begin
     let out =
       match List.filter (fun a -> a <> "--json") args with

@@ -157,10 +157,11 @@ let implement_reduced ?delays ?max_csc ?style ~name sg script =
   let reduced, applied = Search.apply_script sg script in
   implement_realized ?delays ?max_csc ?style ~name reduced applied
 
-let optimize ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc ?perf_delays
-    ?max_cycle ~name sg =
+let optimize ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
+    ?perf_delays ?max_cycle ~name sg =
   let outcome =
-    Search.optimize ?w ?size_frontier ?keep_conc ?perf_delays ?max_cycle sg
+    Search.optimize ?pool ?w ?size_frontier ?keep_conc ?perf_delays ?max_cycle
+      sg
   in
   let best = outcome.Search.best in
   let r =
@@ -174,6 +175,22 @@ let optimize ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc ?perf_delays
       | Some _ -> Some outcome.Search.feasible
       | None -> None);
   }
+
+(* Batched multi-spec driver: one pool shared across every spec's search.
+   Specs run in sequence (each search parallelizes internally), so the
+   per-spec reports are exactly those of individual [optimize] calls. *)
+let optimize_all ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
+    ?perf_delays ?max_cycle specs =
+  let run pool =
+    List.map
+      (fun (name, sg) ->
+        optimize ~pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
+          ?perf_delays ?max_cycle ~name sg)
+      specs
+  in
+  match pool with
+  | Some p -> run p
+  | None -> Pool.with_pool ~jobs:(Pool.default_jobs ()) run
 
 let sg_exn ?budget stg =
   match Sg.of_stg ?budget stg with

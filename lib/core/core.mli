@@ -64,10 +64,13 @@ val implement_reduced :
   report
 
 (** [optimize ~name sg] — run the Fig. 9 beam search and implement the best
-    configuration found.  With [perf_delays] and [max_cycle], the search is
+    configuration found.  With [pool], candidate evaluation fans out across
+    the pool's domains with byte-identical results (see {!Search.optimize}).
+    With [perf_delays] and [max_cycle], the search is
     performance-constrained and the report's [feasible] field says whether
     the bound was met (see {!Search.optimize}). *)
 val optimize :
+  ?pool:Pool.t ->
   ?delays:(Stg.t -> Petri.trans -> int) ->
   ?max_csc:int ->
   ?style:Logic.style ->
@@ -79,6 +82,24 @@ val optimize :
   name:string ->
   Sg.t ->
   report
+
+(** [optimize_all specs] — {!optimize} over a [(name, sg)] batch, sharing
+    one pool across every spec (heavy multi-spec traffic amortizes domain
+    spawns).  Without [pool], a pool of {!Pool.default_jobs} workers is
+    created for the batch and shut down afterwards.  Reports are returned
+    in input order and are identical to per-spec {!optimize} results. *)
+val optimize_all :
+  ?pool:Pool.t ->
+  ?delays:(Stg.t -> Petri.trans -> int) ->
+  ?max_csc:int ->
+  ?style:Logic.style ->
+  ?w:float ->
+  ?size_frontier:int ->
+  ?keep_conc:Search.keep ->
+  ?perf_delays:(Stg.label -> int) ->
+  ?max_cycle:int ->
+  (string * Sg.t) list ->
+  report list
 
 (** Convenience: SG of an STG or raise [Failure] with the error rendered. *)
 val sg_exn : ?budget:int -> Stg.t -> Sg.t

@@ -1,0 +1,131 @@
+(* Domain-based work pool (OCaml >= 5).
+
+   One batch at a time: [map_array] installs a single shared task — a
+   work-stealing loop over an atomic index into the input array — and
+   broadcasts it to every worker domain; the calling domain participates
+   too.  Workers park on a condition variable between batches, so a pool
+   amortizes domain spawn cost across every beam level and every spec of a
+   batched run.
+
+   Memory model: all writes a worker performs during a batch (the results
+   array, any caches filled inside [f]) happen-before the caller's return
+   from [map_array], because the worker's final decrement of [running] and
+   the caller's read of it are ordered by the pool mutex.  Symmetrically,
+   everything the caller wrote before [map_array] is visible to workers via
+   the broadcast under the same mutex. *)
+
+type t = {
+  workers : int;  (** spawned domains; effective parallelism is workers+1 *)
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable epoch : int;  (** bumped once per batch *)
+  mutable running : int;  (** workers still inside the current batch *)
+  mutable quit : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let backend = "domains"
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker_loop t =
+  let my_epoch = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    while (not t.quit) && t.epoch = !my_epoch do
+      Condition.wait t.work_cv t.m
+    done;
+    if t.quit then begin
+      Mutex.unlock t.m;
+      continue := false
+    end
+    else begin
+      my_epoch := t.epoch;
+      let task = match t.task with Some f -> f | None -> ignore in
+      Mutex.unlock t.m;
+      (* Tasks trap their own exceptions; this is a backstop so a worker
+         can never die and deadlock the pool. *)
+      (try task () with _ -> ());
+      Mutex.lock t.m;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.done_cv;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      workers = jobs - 1;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      task = None;
+      epoch = 0;
+      running = 0;
+      quit = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init t.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.workers + 1
+
+(* Run [task] on every worker and on the caller; returns once all have
+   finished. *)
+let run_batch t task =
+  if t.workers = 0 then task ()
+  else begin
+    Mutex.lock t.m;
+    t.task <- Some task;
+    t.epoch <- t.epoch + 1;
+    t.running <- t.workers;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    task ();
+    Mutex.lock t.m;
+    while t.running > 0 do
+      Condition.wait t.done_cv t.m
+    done;
+    t.task <- None;
+    Mutex.unlock t.m
+  end
+
+let map_array t f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match f input.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              ignore (Atomic.compare_and_set first_error None (Some e))
+      done
+    in
+    run_batch t work;
+    (match Atomic.get first_error with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* no error => all set *))
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.quit <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,21 @@
+(* Sequential fallback backend (OCaml < 5, no domains).
+
+   Same interface as the domains backend; [map_array] is a plain
+   left-to-right [Array.map], so results are trivially in the deterministic
+   order the parallel backend also guarantees. *)
+
+type t = { requested : int }
+
+let backend = "sequential"
+let default_jobs () = 1
+let create ~jobs = { requested = max 1 jobs }
+
+(* Effective parallelism — always 1 here, whatever was requested; callers
+   use this to decide whether fan-out bookkeeping is worth doing. *)
+let jobs _ = 1
+let map_array _ f input = Array.map f input
+let shutdown _ = ()
+
+(* Silence the unused-field warning; [requested] exists so that the two
+   backends have structurally similar creation paths. *)
+let _ = fun t -> t.requested

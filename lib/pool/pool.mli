@@ -1,0 +1,53 @@
+(** A small fixed-size work pool for embarrassingly parallel fan-out.
+
+    On OCaml >= 5 the backend spawns [jobs - 1] worker {!Domain}s that park
+    between batches; the calling domain participates in every batch.  On
+    OCaml 4.x a sequential backend with the identical interface is selected
+    at build time (see [lib/pool/dune]), so callers never need a version
+    test.
+
+    Determinism contract: [map_array t f a] returns exactly
+    [Array.map f a] — results land at the index of their input, whatever
+    the scheduling — provided [f] is pure up to commutative-and-idempotent
+    memoization (filling a cache that any worker would fill with the same
+    value).  Work distribution is dynamic (an atomic next-index counter),
+    so the only per-run variation is *which* worker evaluates an element,
+    never the result array.
+
+    Sharing mutable state across [f] invocations is the caller's problem:
+    see [Sg.force_analyses] for how the reduction search freezes shared
+    caches before fanning out. *)
+
+type t
+
+(** ["domains"] or ["sequential"] — which backend this binary was built
+    with. *)
+val backend : string
+
+(** Recommended parallelism: [Domain.recommended_domain_count ()] on the
+    domains backend, [1] on the sequential one. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs] spawns a pool of [max 1 jobs] total workers (the caller
+    counts as one).  The sequential backend accepts any [jobs] and runs
+    everything in the caller. *)
+val create : jobs:int -> t
+
+(** Effective parallelism: number of domains that participate in a batch
+    (always [1] on the sequential backend). *)
+val jobs : t -> int
+
+(** [map_array t f a] — order-preserving parallel map.  If some [f]
+    raises, the batch still drains and the first recorded exception is
+    re-raised (which exception is "first" is scheduling-dependent). *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list t f l] — {!map_array} through a list round-trip. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Stop and join the worker domains.  The pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] — {!create}, run [f], always {!shutdown}. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -12,6 +12,7 @@ type outcome = {
   initial : config;
   explored : int;
   levels : int;
+  fanout : int list;
 }
 
 type keep = (Stg.label * Stg.label) list
@@ -68,7 +69,15 @@ let neighbours ?(keep_conc = []) ?(skip = fun _ -> false) cfg =
   in
   List.fold_left try_red [] pairs
 
-let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
+(* Worker-side verdict on one candidate task.  [Cand] with [cfg = None]
+   marks a candidate that passed Def. 5.1 but failed the performance bound:
+   its signature must still enter the dedup table (as in the sequential
+   search), but it never joins the frontier. *)
+type verdict =
+  | Dropped
+  | Cand of { signature : string; cfg : config option }
+
+let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle sg0 =
   (* Performance constraint: when both [perf_delays] and [max_cycle] are
      given, a configuration only survives if the timed replay of its SG has
@@ -96,34 +105,97 @@ let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   let best = ref (if meets_perf sg0 then Some initial else None) in
   let frontier = ref [ initial ] in
   let levels = ref 0 in
+  let fanout = ref [] in
+  let parallel = match pool with Some p -> Pool.jobs p > 1 | None -> false in
+  let stg = sg0.Sg.stg in
+  let is_input lab =
+    match lab with
+    | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
+    | Stg.Dummy _ -> false
+  in
+  (* A reduction of one pair can indirectly destroy the concurrency of a
+     protected pair; enforce Keep_Conc on the result, not just on the pair
+     being reduced. *)
+  let keeps_protected sg' =
+    List.for_all (fun (x, y) -> Sg.concurrent sg' x y) keep_conc
+  in
+  (* Evaluate one candidate FwdRed(a, b) of [cfg]: build, dedup by
+     signature against [seen], validate (Def. 5.1), price.  During a
+     parallel level [seen] is a frozen snapshot (merge writes happen only
+     after the batch), so the dedup read is race-free; skipping validation
+     for an already-seen candidate is sound because the checks are a
+     deterministic function of (source, candidate). *)
+  let eval_task (cfg, a, b) =
+    match Reduction.fwd_red_built cfg.sg ~a ~b with
+    | Error _ -> Dropped
+    | Ok ((cand, _) as built) -> (
+        let key = Sg.signature cand in
+        if Hashtbl.mem seen key then Dropped
+        else
+          match Reduction.validate ~source:cfg.sg built with
+          | Ok sg' when keeps_protected sg' ->
+              let cfg' =
+                if meets_perf sg' then Some (eval sg' ((a, b) :: cfg.applied))
+                else None
+              in
+              Cand { signature = key; cfg = cfg' }
+          | Ok _ | Error _ -> Dropped)
+  in
   while !frontier <> [] && !levels < max_levels do
     incr levels;
-    let expand acc cfg =
-      let next =
-        neighbours ~keep_conc
-          ~skip:(fun cand -> Hashtbl.mem seen (Sg.signature cand))
-          cfg
-      in
-      List.fold_left
-        (fun acc (sg', step) ->
-          let key = Sg.signature sg' in
-          if Hashtbl.mem seen key then acc
-          else begin
-            Hashtbl.replace seen key ();
-            if not (meets_perf sg') then acc
-            else begin
-              incr explored;
-              let cfg' = eval sg' (step :: cfg.applied) in
-              (match !best with
-              | Some b when cfg'.cost >= b.cost -> ()
-              | Some _ | None -> best := Some cfg');
-              cfg' :: acc
-            end
-          end)
-        acc next
+    (* Deterministic task enumeration: frontier configurations in rank
+       order, concurrent pairs in [Sg.concurrent_pairs] order, orientation
+       (a, b) before (b, a).  The merge below processes verdicts in exactly
+       this order, so parallel and sequential runs are byte-identical. *)
+    let tasks =
+      List.concat_map
+        (fun cfg ->
+          (* Freeze the shared caches of a parent before its candidates fan
+             out across domains; workers then only read them. *)
+          if parallel then Sg.force_analyses cfg.sg;
+          List.concat_map
+            (fun (a, b) ->
+              if in_keep keep_conc a b then []
+              else
+                (if is_input a then [] else [ (cfg, a, b) ])
+                @ if is_input b then [] else [ (cfg, b, a) ])
+            (Sg.concurrent_pairs cfg.sg))
+        !frontier
+      |> Array.of_list
     in
-    let nexts = List.fold_left expand [] !frontier in
-    let sorted = List.sort (fun c1 c2 -> compare c1.cost c2.cost) nexts in
+    fanout := Array.length tasks :: !fanout;
+    let merged = ref [] in
+    let merge verdict =
+      match verdict with
+      | Dropped -> ()
+      | Cand { signature = key; cfg } ->
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            match cfg with
+            | None -> ()
+            | Some cfg' ->
+                incr explored;
+                (match !best with
+                | Some b when cfg'.cost >= b.cost -> ()
+                | Some _ | None -> best := Some cfg');
+                merged := cfg' :: !merged
+          end
+    in
+    (match pool with
+    | Some p when Pool.jobs p > 1 ->
+        Array.iter merge (Pool.map_array p eval_task tasks)
+    | Some _ | None ->
+        (* Sequential: interleave evaluation and merge so intra-level
+           duplicates skip validation via the live [seen] table (the PR 1
+           dedup-before-validate optimization).  Outcome-equivalent to the
+           batch path: the extra skips only avoid recomputing verdicts the
+           merge would discard anyway. *)
+        Array.iter (fun t -> merge (eval_task t)) tasks);
+    let sorted =
+      List.stable_sort
+        (fun c1 c2 -> compare c1.cost c2.cost)
+        (List.rev !merged)
+    in
     frontier := List.filteri (fun i _ -> i < size_frontier) sorted
   done;
   let best, feasible =
@@ -131,7 +203,14 @@ let optimize ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     | Some b -> ({ b with applied = List.rev b.applied }, true)
     | None -> (initial, false)
   in
-  { best; feasible; initial; explored = !explored; levels = !levels }
+  {
+    best;
+    feasible;
+    initial;
+    explored = !explored;
+    levels = !levels;
+    fanout = List.rev !fanout;
+  }
 
 let apply_script sg script =
   let step (sg, done_) (a, b) =

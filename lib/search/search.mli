@@ -27,16 +27,28 @@ type outcome = {
   initial : config;  (** the starting point, for before/after reporting *)
   explored : int;  (** number of distinct SGs evaluated *)
   levels : int;  (** depth of the search *)
+  fanout : int list;
+      (** candidate reductions enumerated per level, in level order — the
+          work fanned out across pool workers (before dedup/validation) *)
 }
 
 (** Pairs of labels whose concurrency must be preserved (the designer's
     [Keep_Conc] input).  Pairs are unordered. *)
 type keep = (Stg.label * Stg.label) list
 
-(** [optimize ?w ?size_frontier ?keep_conc ?max_levels sg] runs the search.
-    [w] (default 0.5) trades logic complexity ([w -> 1]) against CSC
-    conflicts ([w -> 0]).  [size_frontier] defaults to 4.
+(** [optimize ?pool ?w ?size_frontier ?keep_conc ?max_levels sg] runs the
+    search.  [w] (default 0.5) trades logic complexity ([w -> 1]) against
+    CSC conflicts ([w -> 0]).  [size_frontier] defaults to 4.
     [max_levels] (default unlimited) bounds the depth.
+
+    With [pool] (and an effective {!Pool.jobs} > 1), each level's candidate
+    evaluations — build, signature dedup, Def. 5.1 validation, cost — fan
+    out across the pool's domains against the shared immutable parent SGs
+    (whose caches are forced first; see {!Sg.force_analyses}).  Verdicts
+    are merged in the deterministic task-enumeration order (frontier rank,
+    then concurrent-pair order, then orientation), so the outcome is
+    byte-identical to a run without a pool.  [perf_delays] must be pure
+    when a pool is used: it is called from worker domains.
 
     When both [perf_delays] and [max_cycle] are given, configurations whose
     timed replay ({!Timing.analyze_sg}) exceeds the cycle bound are
@@ -44,6 +56,7 @@ type keep = (Stg.label * Stg.label) list
     meets the bound, [best] falls back to the initial one and the outcome's
     [feasible] flag is [false]. *)
 val optimize :
+  ?pool:Pool.t ->
   ?w:float ->
   ?size_frontier:int ->
   ?keep_conc:keep ->

@@ -855,6 +855,28 @@ let signature sg =
       sg.cache.c_signature <- Some s;
       s
 
+(* Force every shared memoized analysis the reduction search reads on a
+   value that is about to be shared read-only across domains.  After this
+   returns, the queries the search performs on [sg] from pool workers
+   ([er], [pred], [arc_label_instances], [is_output_persistent],
+   [concurrent], [signature], [csc_conflict_count], [enabled_labels]) are
+   pure reads of already-filled cache fields.  The per-state
+   controlled-label memo is intentionally not forced: the search never
+   calls [csc_conflicts]/[controlled_labels] on a shared value, and the
+   int-packed [csc_conflict_count] path does not touch it.
+
+   Forcing [signature] also populates the per-STG [sig_tables] memo, so
+   workers computing candidate signatures over the same STG only read it. *)
+let force_analyses sg =
+  ignore (signature sg);
+  ignore (enabled_arrays sg);
+  ignore (pred sg);
+  ignore (er_table sg);
+  ignore (conc_rel sg);
+  ignore (arc_label_instances sg);
+  ignore (is_output_persistent sg);
+  ignore (csc_conflict_count sg)
+
 let pp ppf sg =
   Format.fprintf ppf "SG: %d states, %d arcs, initial %s" sg.n
     (Array.fold_left (fun acc a -> acc + Array.length a) 0 sg.succ)

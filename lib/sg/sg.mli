@@ -193,6 +193,15 @@ val signature : t -> string
 (** States as a list in id order. *)
 val states : t -> state list
 
+(** Force every memoized analysis the reduction search consults on a
+    shared value (enabled labels, reverse index, excitation regions, the
+    concurrency relation, arc-label instances, output persistency,
+    signature, CSC-conflict count), making subsequent queries from
+    concurrent readers pure cache reads.  Call this on an SG before
+    sharing it read-only across pool workers; see DESIGN.md, "Parallel
+    candidate evaluation". *)
+val force_analyses : t -> unit
+
 val pp : Format.formatter -> t -> unit
 
 (** Dump in the paper's style: one line per state: code, then arcs. *)

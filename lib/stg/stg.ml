@@ -454,44 +454,156 @@ module Io = struct
       && Array.length net.Petri.consumers.(p) = 1
     in
     let tname t = Petri.trans_name net t in
-    for t = 0 to Petri.n_trans net - 1 do
-      let targets = ref [] in
-      Array.iter
+    let n_t = Petri.n_trans net and n_p = Petri.n_places net in
+    (* Canonical emission: lines are ordered so that re-parsing the printed
+       text encounters transition and place names in exactly the order they
+       are emitted here.  [parse] numbers nodes by first appearance, so
+       [parse (print stg)] numbers them in emission order and printing that
+       net replays the same emission — [print] is a fixpoint of
+       [print . parse], which makes the format usable for golden files (see
+       test/test_roundtrip.ml).  Each emission loop takes the first
+       already-encountered node with an unprinted line (in encounter order),
+       seeding from the lowest unprinted id when none is pending. *)
+    let t_seen = Array.make n_t false and t_enc_rev = ref [] in
+    let t_enc t =
+      if not t_seen.(t) then begin
+        t_seen.(t) <- true;
+        t_enc_rev := t :: !t_enc_rev
+      end
+    in
+    let p_seen = Array.make n_p false and p_enc_rev = ref [] in
+    let p_enc p =
+      if not p_seen.(p) then begin
+        p_seen.(p) <- true;
+        p_enc_rev := p :: !p_enc_rev
+      end
+    in
+    let imp_seen = Array.make n_p false and imp_enc_rev = ref [] in
+    let imp_enc p =
+      if not imp_seen.(p) then begin
+        imp_seen.(p) <- true;
+        imp_enc_rev := p :: !imp_enc_rev
+      end
+    in
+    let pos_in enc_rev x =
+      let rec idx i = function
+        | [] -> max_int
+        | y :: r -> if y = x then i else idx (i + 1) r
+      in
+      idx 0 (List.rev !enc_rev)
+    in
+    (* Pick the next line head: first encountered-but-unprinted node with a
+       line, else the lowest-id one. *)
+    let next_head emitted has_line enc_rev n =
+      let pending x = has_line x && not emitted.(x) in
+      match List.find_opt pending (List.rev !enc_rev) with
+      | Some _ as hit -> hit
+      | None ->
+          let r = ref None in
+          (try
+             for x = 0 to n - 1 do
+               if pending x then begin
+                 r := Some x;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !r
+    in
+    let t_emitted = Array.make n_t false in
+    let t_has_line t = Array.length net.Petri.post.(t) > 0 in
+    let emit_trans_line t =
+      t_emitted.(t) <- true;
+      t_enc t;
+      let explicit, implicit =
+        Array.to_list net.Petri.post.(t)
+        |> List.partition (fun p -> not (is_implicit p))
+      in
+      (* Explicit targets before implicit ones, the already-encountered ones
+         in encounter order: exactly the relative place order a re-parse
+         assigns, hence the order a re-print would use. *)
+      let seen, fresh = List.partition (fun p -> p_seen.(p)) explicit in
+      let explicit =
+        List.sort (fun a b -> compare (pos_in p_enc_rev a) (pos_in p_enc_rev b))
+          seen
+        @ fresh
+      in
+      List.iter p_enc explicit;
+      let targets =
+        List.map (Petri.place_name net) explicit
+        @ List.map
+            (fun p ->
+              imp_enc p;
+              let t2 = net.Petri.consumers.(p).(0) in
+              t_enc t2;
+              tname t2)
+            implicit
+      in
+      add "%s %s\n" (tname t) (String.concat " " targets)
+    in
+    let rec trans_loop () =
+      match next_head t_emitted t_has_line t_enc_rev n_t with
+      | None -> ()
+      | Some t ->
+          emit_trans_line t;
+          trans_loop ()
+    in
+    trans_loop ();
+    let p_emitted = Array.make n_p false in
+    let p_has_line p =
+      (not (is_implicit p)) && Array.length net.Petri.consumers.(p) > 0
+    in
+    let emit_place_line p =
+      p_emitted.(p) <- true;
+      p_enc p;
+      let seen, fresh =
+        List.partition
+          (fun t -> t_seen.(t))
+          (Array.to_list net.Petri.consumers.(p))
+      in
+      let consumers =
+        List.sort (fun a b -> compare (pos_in t_enc_rev a) (pos_in t_enc_rev b))
+          seen
+        @ fresh
+      in
+      List.iter t_enc consumers;
+      add "%s %s\n" (Petri.place_name net p)
+        (String.concat " " (List.map tname consumers))
+    in
+    let rec place_loop () =
+      match next_head p_emitted p_has_line p_enc_rev n_p with
+      | None -> ()
+      | Some p ->
+          emit_place_line p;
+          place_loop ()
+    in
+    place_loop ();
+    (* Marking tokens in the order a re-parse numbers the places: explicit
+       by first appearance, then implicit by first appearance (disconnected
+       places last — they do not survive a round trip anyway). *)
+    let marked_order =
+      List.rev !p_enc_rev @ List.rev !imp_enc_rev
+      @ List.filter
+          (fun p -> not (p_seen.(p) || imp_seen.(p)))
+          (List.init n_p Fun.id)
+    in
+    let marking_tokens =
+      List.filter_map
         (fun p ->
-          if is_implicit p then
-            Array.iter
-              (fun t2 -> targets := tname t2 :: !targets)
-              net.Petri.consumers.(p)
-          else targets := Petri.place_name net p :: !targets)
-        net.Petri.post.(t);
-      if !targets <> [] then
-        add "%s %s\n" (tname t) (String.concat " " (List.rev !targets))
-    done;
-    for p = 0 to Petri.n_places net - 1 do
-      if not (is_implicit p) then begin
-        let targets =
-          Array.to_list (Array.map tname net.Petri.consumers.(p))
-        in
-        if targets <> [] then
-          add "%s %s\n" (Petri.place_name net p) (String.concat " " targets)
-      end
-    done;
-    let marking_tokens = ref [] in
-    for p = Petri.n_places net - 1 downto 0 do
-      let k = net.Petri.initial.(p) in
-      if k > 0 then begin
-        let base =
-          if is_implicit p then
-            Printf.sprintf "<%s,%s>"
-              (tname net.Petri.producers.(p).(0))
-              (tname net.Petri.consumers.(p).(0))
-          else Petri.place_name net p
-        in
-        let tok = if k = 1 then base else Printf.sprintf "%s=%d" base k in
-        marking_tokens := tok :: !marking_tokens
-      end
-    done;
-    add ".marking { %s }\n" (String.concat " " !marking_tokens);
+          let k = net.Petri.initial.(p) in
+          if k = 0 then None
+          else
+            let base =
+              if is_implicit p then
+                Printf.sprintf "<%s,%s>"
+                  (tname net.Petri.producers.(p).(0))
+                  (tname net.Petri.consumers.(p).(0))
+              else Petri.place_name net p
+            in
+            Some (if k = 1 then base else Printf.sprintf "%s=%d" base k))
+        marked_order
+    in
+    add ".marking { %s }\n" (String.concat " " marking_tokens);
     add ".end\n";
     Buffer.contents buf
 end

@@ -90,3 +90,162 @@ let sg_exn stg =
   match Sg.of_stg stg with
   | Ok sg -> sg
   | Error e -> failwith (Format.asprintf "gen: %a" Sg.pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Random series-parallel STGs.
+
+   A signal's behaviour is the block  s+ ; s-  ; blocks compose in series
+   (barrier places between consecutive blocks) or in parallel, and the
+   whole tree closes into a loop through marked back places.  The result
+   is always a live, safe, consistent, speed-independent marked-graph STG:
+   every place has one producer and one consumer (no choice, hence
+   determinism, commutativity and persistency), every cycle crosses
+   exactly one marked back place (safety + liveness), and each signal
+   strictly alternates + and − (consistency).  Strong invariants by
+   construction let property tests assert the strongest properties on the
+   search's behaviour.
+
+   Trees are the shrinkable representation: QCheck shrinks a tree by
+   replacing a node with one of its children, dropping a child, or
+   shrinking a child — all of which preserve the construction invariants,
+   so shrunk counterexamples stay valid STGs. *)
+
+type sp = Leaf of int | Seq of sp list | Par of sp list
+
+let rec sp_leaves = function
+  | Leaf i -> [ i ]
+  | Seq l | Par l -> List.concat_map sp_leaves l
+
+let rec sp_to_string = function
+  | Leaf i -> signal_name i
+  | Seq l -> "(" ^ String.concat " ; " (List.map sp_to_string l) ^ ")"
+  | Par l -> "(" ^ String.concat " | " (List.map sp_to_string l) ^ ")"
+
+(* Split [ids] into [k] nonempty consecutive groups (k <= length ids). *)
+let split_groups st ids k =
+  let n = List.length ids in
+  let cuts = Array.init (n - 1) (fun i -> i + 1) in
+  (* Fisher-Yates prefix of length k-1, then sort: k-1 distinct cuts. *)
+  for i = 0 to min (k - 2) (n - 2) do
+    let j = i + Random.State.int st (n - 1 - i) in
+    let t = cuts.(i) in
+    cuts.(i) <- cuts.(j);
+    cuts.(j) <- t
+  done;
+  let cuts = Array.sub cuts 0 (k - 1) in
+  Array.sort compare cuts;
+  let arr = Array.of_list ids in
+  let bounds = Array.to_list cuts @ [ n ] in
+  let rec slice lo = function
+    | [] -> []
+    | hi :: rest -> Array.to_list (Array.sub arr lo (hi - lo)) :: slice hi rest
+  in
+  slice 0 bounds
+
+let random_sp st ~max_signals =
+  let n = 1 + Random.State.int st (max 1 max_signals) in
+  let rec build ids depth =
+    match ids with
+    | [ i ] -> Leaf i
+    | ids when depth >= 4 -> Seq (List.map (fun i -> Leaf i) ids)
+    | ids ->
+        let k = 2 + Random.State.int st (min 2 (List.length ids - 1)) in
+        let children =
+          List.map (fun g -> build g (depth + 1)) (split_groups st ids k)
+        in
+        if Random.State.bool st then Seq children else Par children
+  in
+  build (List.init n Fun.id) 0
+
+let stg_of_sp ?(is_input = fun _ -> false) sp =
+  let b = Petri.Builder.create () in
+  let fresh =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      Printf.sprintf "q%d" !k
+  in
+  (* Compile a block to its entry and exit transitions. *)
+  let rec compile = function
+    | Leaf i ->
+        let plus = Petri.Builder.add_trans b ~name:(signal_name i ^ "+") in
+        let minus = Petri.Builder.add_trans b ~name:(signal_name i ^ "-") in
+        ignore (Petri.Builder.connect b plus minus ~name:(fresh ()));
+        ([ plus ], [ minus ])
+    | Seq blocks ->
+        let compiled = List.map compile blocks in
+        let rec link = function
+          | (_, exits) :: ((entries, _) :: _ as rest) ->
+              List.iter
+                (fun e ->
+                  List.iter
+                    (fun en ->
+                      ignore (Petri.Builder.connect b e en ~name:(fresh ())))
+                    entries)
+                exits;
+              link rest
+          | [ _ ] | [] -> ()
+        in
+        link compiled;
+        (fst (List.hd compiled), snd (List.nth compiled (List.length compiled - 1)))
+    | Par blocks ->
+        let compiled = List.map compile blocks in
+        (List.concat_map fst compiled, List.concat_map snd compiled)
+  in
+  let entries, exits = compile sp in
+  (* Close the loop: a marked back place from every exit to every entry. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun en ->
+          let p = Petri.Builder.add_place b ~name:(fresh ()) ~tokens:1 in
+          Petri.Builder.arc_tp b e p;
+          Petri.Builder.arc_pt b p en)
+        entries)
+    exits;
+  let leaves = sp_leaves sp in
+  let ins = List.filter is_input leaves |> List.map signal_name in
+  let outs =
+    List.filter (fun i -> not (is_input i)) leaves |> List.map signal_name
+  in
+  Stg.of_net ~inputs:ins ~outputs:outs (Petri.Builder.build b)
+
+(* Seeded random STG: bounded signals (hence <= 2 * max_signals
+   transitions), deterministic per seed.  Roughly a quarter of the signals
+   become inputs, always leaving at least one output so the reduction
+   search has something to do. *)
+let random_stg ?(max_signals = 6) seed =
+  let st = Random.State.make [| 0x53ed; seed |] in
+  let sp = random_sp st ~max_signals in
+  let leaves = sp_leaves sp in
+  let inputs =
+    List.filter (fun _ -> Random.State.int st 4 = 0) leaves
+  in
+  let inputs =
+    if List.compare_lengths inputs leaves = 0 then List.tl inputs else inputs
+  in
+  stg_of_sp ~is_input:(fun i -> List.mem i inputs) sp
+
+(* QCheck arbitrary over shrinkable SP trees. *)
+let shrink_sp sp yield =
+  let rec shrink sp yield =
+    match sp with
+    | Leaf _ -> ()
+    | Seq l | Par l ->
+        let mk l' = match sp with Seq _ -> Seq l' | _ -> Par l' in
+        List.iter yield l;
+        if List.length l > 2 then
+          List.iteri
+            (fun i _ -> yield (mk (List.filteri (fun j _ -> j <> i) l)))
+            l;
+        List.iteri
+          (fun i c ->
+            shrink c (fun c' ->
+                yield (mk (List.mapi (fun j x -> if j = i then c' else x) l))))
+          l
+  in
+  shrink sp yield
+
+let arb_sp ?(max_signals = 6) () =
+  QCheck.make ~print:sp_to_string ~shrink:shrink_sp (fun st ->
+      random_sp st ~max_signals)

@@ -18,4 +18,6 @@ let () =
       ("specs", Test_specs.suite);
       ("bdd", Test_bdd.suite);
       ("techmap", Test_techmap.suite);
+      ("parallel", Test_parallel.suite);
+      ("roundtrip", Test_roundtrip.suite);
     ]

@@ -1,0 +1,122 @@
+(* Golden round-trip tests over every .g file shipped under examples/:
+   parse -> print -> parse must be a fixpoint, both textually (the second
+   print equals the first) and structurally (signals, labels and the net
+   shape survive, with places compared up to renaming — the printer elides
+   implicit places, so the reparsed net numbers and names them afresh). *)
+
+let examples_dir () =
+  match Sys.getenv_opt "ASYNC_REPRO_EXAMPLES" with
+  | Some d -> d
+  | None ->
+      (* dune runs tests from _build/default/test; walk up to the root. *)
+      let rec up dir n =
+        let cand = Filename.concat dir "examples/data" in
+        if Sys.file_exists cand && Sys.is_directory cand then cand
+        else if n = 0 || Filename.dirname dir = dir then
+          Alcotest.fail "examples/data not found (set ASYNC_REPRO_EXAMPLES)"
+        else up (Filename.dirname dir) (n - 1)
+      in
+      up (Sys.getcwd ()) 8
+
+let g_files () =
+  let dir = examples_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".g")
+  |> List.sort compare
+  |> List.map (fun f -> (f, Filename.concat dir f))
+
+let signal_repr (s : Stg.Signal.t) =
+  Format.asprintf "%s:%a" s.Stg.Signal.name Stg.Signal.pp_kind
+    s.Stg.Signal.kind
+
+(* Net places up to renaming/renumbering: the sorted multiset of
+   (producers-by-name, consumers-by-name, tokens) triples. *)
+let canon_places (stg : Stg.t) =
+  let net = stg.Stg.net in
+  let by_name ts =
+    Array.to_list ts
+    |> List.map (Petri.trans_name net)
+    |> List.sort compare
+  in
+  List.init net.Petri.n_places (fun p ->
+      ( by_name net.Petri.producers.(p),
+        by_name net.Petri.consumers.(p),
+        net.Petri.initial.(p) ))
+  |> List.sort compare
+
+let structural_repr (stg : Stg.t) =
+  let net = stg.Stg.net in
+  let signals =
+    Array.to_list stg.Stg.signals |> List.map signal_repr
+  in
+  let trans =
+    List.init net.Petri.n_trans (fun t ->
+        Printf.sprintf "%s=%s" (Petri.trans_name net t)
+          (Stg.label_name stg (Stg.label stg t)))
+    |> List.sort compare
+  in
+  let places =
+    canon_places stg
+    |> List.map (fun (prod, cons, tok) ->
+           Printf.sprintf "[%s]->(%d)->[%s]" (String.concat "," prod) tok
+             (String.concat "," cons))
+  in
+  String.concat "\n"
+    (("signals: " ^ String.concat " " signals)
+    :: ("trans: " ^ String.concat " " trans)
+    :: places)
+
+let test_roundtrip () =
+  let files = g_files () in
+  Alcotest.(check bool) "found example .g files" true (files <> []);
+  List.iter
+    (fun (name, path) ->
+      let p1 = Stg.Io.parse_file path in
+      let s1 = Stg.Io.print p1 in
+      let p2 =
+        try Stg.Io.parse s1
+        with Stg.Io.Parse_error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: reparse of printed form failed: %s" name e)
+      in
+      let s2 = Stg.Io.print p2 in
+      Alcotest.(check string) (name ^ ": print fixpoint") s1 s2;
+      Alcotest.(check string)
+        (name ^ ": structure fixpoint")
+        (structural_repr p1) (structural_repr p2))
+    files
+
+(* The round trip must also preserve behaviour, not just structure: equal
+   state graphs up to the canonical signature. *)
+let test_roundtrip_sg () =
+  List.iter
+    (fun (name, path) ->
+      let p1 = Stg.Io.parse_file path in
+      let p2 = Stg.Io.parse (Stg.Io.print p1) in
+      let quiet = Sg.of_stg ~warn:(fun _ -> ()) in
+      match (quiet p1, quiet p2) with
+      | Ok g1, Ok g2 ->
+          Alcotest.(check string)
+            (name ^ ": SG signature")
+            (Sg.signature g1) (Sg.signature g2)
+      | Error e1, Error e2 ->
+          (* A partial spec may legitimately have no consistent SG; the
+             round trip must then fail identically. *)
+          Alcotest.(check string)
+            (name ^ ": SG error")
+            (Format.asprintf "%a" Sg.pp_error e1)
+            (Format.asprintf "%a" Sg.pp_error e2)
+      | Ok _, Error e ->
+          Alcotest.fail
+            (Format.asprintf "%s: SG lost in round trip: %a" name Sg.pp_error e)
+      | Error e, Ok _ ->
+          Alcotest.fail
+            (Format.asprintf "%s: SG gained in round trip: %a" name Sg.pp_error
+               e))
+    (g_files ())
+
+let suite =
+  [
+    Alcotest.test_case "parse-print-parse fixpoint" `Quick test_roundtrip;
+    Alcotest.test_case "round trip preserves the SG" `Quick test_roundtrip_sg;
+  ]
