@@ -7,6 +7,8 @@
    Extras:  --backend            print the pool backend and exit
             --json [FILE]        PR 1 hot-path kernel timings
             --json-pr2 [FILE]    sequential-vs-parallel search timings
+            --json-pr3 [FILE]    SG-representation time/alloc/live profile
+            --smoke [FILE]       one-pass --json-pr3 (CI trajectory check)
             --jobs N             pool width for `parallel` / --json-pr2 *)
 
 let section_header title =
@@ -755,11 +757,167 @@ let json_bench out_file =
   close_out oc;
   Printf.printf "wrote %s\n" out_file
 
+(* --json-pr3: allocation + live-heap profile of the SG representation.
+
+   For each kernel: wall time (the --json estimator), words allocated per
+   run (Gc.quick_stat deltas: minor + major - promoted), and for each
+   spec the live-heap footprint of holding one freshly built SG (words
+   retained after a full major collection).  [--smoke] runs one pass with
+   small batches so CI can record the trajectory cheaply. *)
+
+let alloc_words_per_run f =
+  ignore (f ());
+  (* warm-up: fill memo tables that amortize across runs *)
+  let reps = 5 in
+  let s0 = Gc.quick_stat () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let s1 = Gc.quick_stat () in
+  (s1.Gc.minor_words -. s0.Gc.minor_words
+  +. (s1.Gc.major_words -. s0.Gc.major_words)
+  -. (s1.Gc.promoted_words -. s0.Gc.promoted_words))
+  /. float_of_int reps
+
+let live_words_of make =
+  Gc.full_major ();
+  let before = (Gc.quick_stat ()).Gc.live_words in
+  let v = make () in
+  Gc.full_major ();
+  let after = (Gc.quick_stat ()).Gc.live_words in
+  (* keep [v] live across the measurement *)
+  ignore (Sys.opaque_identity v);
+  after - before
+
 (* --json-pr2: sequential vs parallel Search.optimize on LR/PAR/MMU.
    Sequential runs use no pool at all (the PR 1 hot path); parallel runs
    share one pool of --jobs workers.  Speedup > 1 needs real cores: the
    report records the host's recommended domain count so single-core
    container numbers are interpretable. *)
+(* Old-representation profile of the same kernels, measured at PR 2 (commit
+   9352933: one [Bytes.t] code per state, boxed [(trans * state) array
+   array] arcs) on the machine that produced BENCH_PR3.json, with the same
+   estimators.  Baked in so the json report always carries the
+   old-vs-packed comparison. *)
+let pr3_baseline_ns : (string * float) list =
+  [
+    ("sg_of_stg_lr", 17354.);
+    ("sg_of_stg_par", 111580.);
+    ("sg_of_stg_mmu", 463317.);
+    ("search_optimize_lr", 197608.);
+    ("search_optimize_par", 3959227.);
+    ("search_optimize_mmu", 35534143.);
+  ]
+
+let pr3_baseline_alloc : (string * float) list =
+  [
+    ("sg_of_stg_lr", 3609.);
+    ("sg_of_stg_par", 46700.);
+    ("sg_of_stg_mmu", 132096.);
+    ("search_optimize_lr", 57912.);
+    ("search_optimize_par", 790864.);
+    ("search_optimize_mmu", 6626518.);
+  ]
+
+let pr3_baseline_live : (string * float) list =
+  [ ("live_sg_lr", 385.); ("live_sg_par", 2389.); ("live_sg_mmu", 8375.) ]
+
+let json_pr3 ~smoke out_file =
+  let lr_stg = Expansion.four_phase Specs.lr in
+  let lr_sg = Core.sg_exn lr_stg in
+  let par_stg = Expansion.four_phase Specs.par in
+  let par_sg = Core.sg_exn par_stg in
+  let mmu_stg = Expansion.four_phase Specs.mmu in
+  let mmu_sg = Core.sg_exn mmu_stg in
+  let kernels =
+    [
+      ("sg_of_stg_lr", fun () -> ignore (Sg.of_stg lr_stg));
+      ("sg_of_stg_par", fun () -> ignore (Sg.of_stg par_stg));
+      ("sg_of_stg_mmu", fun () -> ignore (Sg.of_stg mmu_stg));
+      ( "search_optimize_lr",
+        fun () -> ignore (Search.optimize ~w:0.8 ~size_frontier:6 lr_sg) );
+      ( "search_optimize_par",
+        fun () -> ignore (Search.optimize ~w:0.8 ~size_frontier:4 par_sg) );
+      ( "search_optimize_mmu",
+        fun () -> ignore (Search.optimize ~w:0.8 ~size_frontier:4 mmu_sg) );
+    ]
+  in
+  let passes = if smoke then 1 else 3 in
+  let times = ref (List.map (fun (name, _) -> (name, infinity)) kernels) in
+  for pass = 1 to passes do
+    times :=
+      List.map2
+        (fun (name, f) (_, best) ->
+          let ns = time_ns f in
+          Printf.eprintf "pass %d  %-24s %14.0f ns/run\n%!" pass name ns;
+          (name, Float.min best ns))
+        kernels !times
+  done;
+  let allocs =
+    List.map
+      (fun (name, f) ->
+        let w = alloc_words_per_run f in
+        Printf.eprintf "alloc   %-24s %14.0f words/run\n%!" name w;
+        (name, w))
+      kernels
+  in
+  (* Live footprint of one freshly built (unanalyzed) SG per spec. *)
+  let sg_exn stg = match Sg.of_stg stg with Ok sg -> sg | Error _ -> assert false in
+  let live =
+    List.map
+      (fun (name, stg) ->
+        let w = live_words_of (fun () -> sg_exn stg) in
+        Printf.eprintf "live    %-24s %14d words\n%!" name w;
+        (name, float_of_int w))
+      [ ("live_sg_lr", lr_stg); ("live_sg_par", par_stg); ("live_sg_mmu", mmu_stg) ]
+  in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"BENCH_PR3\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"baseline_commit\": \"9352933 (PR 2: boxed codes + tuple-array arcs)\",\n";
+  let emit_obj ?(last = false) key entries =
+    add "  \"%s\": {\n" key;
+    List.iteri
+      (fun i (name, v) ->
+        add "    \"%s\": %.0f%s\n" name v
+          (if i = List.length entries - 1 then "" else ","))
+      entries;
+    add "  }%s\n" (if last then "" else ",")
+  in
+  emit_obj "old_ns" pr3_baseline_ns;
+  emit_obj "new_ns" !times;
+  emit_obj "old_alloc_words" pr3_baseline_alloc;
+  emit_obj "new_alloc_words" allocs;
+  emit_obj "old_live_words" pr3_baseline_live;
+  emit_obj "new_live_words" live;
+  let ratios key olds news =
+    let rs =
+      List.filter_map
+        (fun (name, o) ->
+          match List.assoc_opt name news with
+          | Some n when n > 0.0 -> Some (name, o /. n)
+          | Some _ | None -> None)
+        olds
+    in
+    add "  \"%s\": {\n" key;
+    List.iteri
+      (fun i (name, v) ->
+        add "    \"%s\": %.2f%s\n" name v
+          (if i = List.length rs - 1 then "" else ","))
+      rs;
+    add "  }%s\n" (if key = "live_ratio" then "" else ",")
+  in
+  ratios "speedup" pr3_baseline_ns !times;
+  ratios "alloc_ratio" pr3_baseline_alloc allocs;
+  ratios "live_ratio" pr3_baseline_live live;
+  add "}\n";
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file
+
 let json_pr2 out_file =
   let specs = parallel_specs () in
   let measure pool =
@@ -871,6 +1029,18 @@ let () =
     in
     strip args
   in
+  if List.mem "--json-pr3" args || List.mem "--smoke" args then begin
+    let smoke = List.mem "--smoke" args in
+    let out =
+      match
+        List.filter (fun a -> a <> "--json-pr3" && a <> "--smoke") args
+      with
+      | [ f ] -> f
+      | _ -> "BENCH_PR3.json"
+    in
+    json_pr3 ~smoke out;
+    exit 0
+  end;
   if List.mem "--json-pr2" args then begin
     let out =
       match List.filter (fun a -> a <> "--json-pr2") args with

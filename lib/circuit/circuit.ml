@@ -101,7 +101,7 @@ let of_impl (impl : Logic.impl) =
     invalid_arg "Circuit.of_impl: CSC conflicts remain";
   let sg = impl.Logic.sg in
   let signal_names =
-    Array.map (fun s -> s.Stg.Signal.name) sg.Sg.stg.Stg.signals
+    Array.map (fun s -> s.Stg.Signal.name) (Sg.stg sg).Stg.signals
   in
   let gates =
     List.concat_map
@@ -137,7 +137,7 @@ let gate_count circuit =
        circuit.gates)
 
 let non_input_signals circuit =
-  let stg = circuit.sg.Sg.stg in
+  let stg = Sg.stg circuit.sg in
   List.filter
     (fun i -> not (Stg.Signal.is_input (Stg.signal stg i)))
     (List.init (Stg.n_signals stg) Fun.id)
@@ -188,7 +188,7 @@ let next_values circuit ~code =
     outputs
 
 let to_verilog ?(module_name = "circuit") circuit =
-  let stg = circuit.sg.Sg.stg in
+  let stg = Sg.stg circuit.sg in
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let ins =
@@ -249,18 +249,13 @@ let pp_violation sg ppf v =
   Format.fprintf ppf
     "state %d [%s]: signal %s excited=%b but specification enables=%b"
     v.state (Sg.code_display sg v.state)
-    (Stg.signal sg.Sg.stg v.signal).Stg.Signal.name v.excited v.specified
+    (Stg.signal (Sg.stg sg) v.signal).Stg.Signal.name v.excited v.specified
 
 let conforms circuit =
   let sg = circuit.sg in
-  let stg = sg.Sg.stg in
   let violations = ref [] in
   for s = 0 to Sg.n_states sg - 1 do
-    let code = ref 0 in
-    for i = 0 to Stg.n_signals stg - 1 do
-      if Sg.value sg s i = 1 then code := !code lor (1 lsl i)
-    done;
-    let next = next_values circuit ~code:!code in
+    let next = next_values circuit ~code:(Sg.code_bits sg s) in
     let spec_enabled i =
       List.exists
         (fun lab ->

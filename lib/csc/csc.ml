@@ -201,7 +201,7 @@ let resolve ?(max_signals = 6) ?budget ?(work = 20_000) sg0 =
       try_best (List.filteri (fun i _ -> i < 5) sorted)
     end
   in
-  match solve sg0.Sg.stg sg0 max_signals [] with
+  match solve (Sg.stg sg0) sg0 max_signals [] with
   | result -> result
   | exception Out_of_work -> Error "insertion work budget exhausted"
 

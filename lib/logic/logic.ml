@@ -14,22 +14,17 @@ type signal_impl = {
 
 type impl = { sg : Sg.t; style : style; per_signal : signal_impl list }
 
-let minterm_of_code sg s =
-  let nsig = Stg.n_signals sg.Sg.stg in
-  let m = ref 0 in
-  for i = 0 to nsig - 1 do
-    if Sg.value sg s i = 1 then m := !m lor (1 lsl i)
-  done;
-  !m
+(* The packed code IS the minterm (bit i = value of signal i). *)
+let minterm_of_code sg s = Sg.code_bits sg s
 
 (* Is an edge of [sigid] enabled in state [s]? *)
 let excited sg s sigid =
-  Array.exists
-    (fun (tr, _) ->
-      match Stg.label sg.Sg.stg tr with
+  Sg.fold_succ sg s false (fun acc tr _ ->
+      acc
+      ||
+      match Stg.label (Sg.stg sg) tr with
       | Stg.Edge (sid, _) -> sid = sigid
       | Stg.Dummy _ -> false)
-    sg.Sg.succ.(s)
 
 (* Next value of signal [sigid] in state [s]: current value flipped when an
    edge of the signal is enabled. *)
@@ -111,7 +106,7 @@ let wire_like nsig sigid cover =
   | [] | _ :: _ :: _ -> false
 
 let synthesize_signal_sop sg sigid =
-  let nsig = Stg.n_signals sg.Sg.stg in
+  let nsig = Stg.n_signals (Sg.stg sg) in
   let on, off, conflict_codes = on_off_sets sg sigid in
   let cover = Boolf.minimize ~n:nsig ~on ~off in
   let is_constant = on = [] || off = [] in
@@ -124,7 +119,7 @@ let synthesize_signal_sop sg sigid =
   }
 
 let synthesize_signal_gc sg sigid =
-  let nsig = Stg.n_signals sg.Sg.stg in
+  let nsig = Stg.n_signals (Sg.stg sg) in
   let s_on, s_off, r_on, r_off, conflict_codes = gc_sets sg sigid in
   let set = Boolf.minimize ~n:nsig ~on:s_on ~off:s_off in
   let reset = Boolf.minimize ~n:nsig ~on:r_on ~off:r_off in
@@ -137,9 +132,9 @@ let synthesize_signal_gc sg sigid =
   }
 
 let non_input_signals sg =
-  let nsig = Stg.n_signals sg.Sg.stg in
+  let nsig = Stg.n_signals (Sg.stg sg) in
   List.filter
-    (fun i -> not (Stg.Signal.is_input (Stg.signal sg.Sg.stg i)))
+    (fun i -> not (Stg.Signal.is_input (Stg.signal (Sg.stg sg) i)))
     (List.init nsig Fun.id)
 
 let synthesize ?(style = `Complex_gate) sg =
@@ -157,18 +152,16 @@ let synthesize ?(style = `Complex_gate) sg =
    direct-address byte tables (2^nsig entries) instead of a [Hashtbl].  The
    ON/OFF/conflict sets are identical to [on_off_sets]'s. *)
 let estimate_fast conflict_penalty sg =
-  let stg = sg.Sg.stg in
+  let stg = Sg.stg sg in
   let nsig = Stg.n_signals stg in
   let nst = Sg.n_states sg in
   let mint = Array.make nst 0 and exc = Array.make nst 0 in
   for s = 0 to nst - 1 do
     mint.(s) <- minterm_of_code sg s;
-    Array.iter
-      (fun (tr, _) ->
+    Sg.iter_succ sg s (fun tr _ ->
         match Stg.label stg tr with
         | Stg.Edge (sid, _) -> exc.(s) <- exc.(s) lor (1 lsl sid)
         | Stg.Dummy _ -> ())
-      sg.Sg.succ.(s)
   done;
   let size = 1 lsl nsig in
   let has0 = Bytes.make size '\000' and has1 = Bytes.make size '\000' in
@@ -215,11 +208,11 @@ let estimate_fast conflict_penalty sg =
   List.fold_left (fun acc sigid -> acc + cost_of sigid) 0 (non_input_signals sg)
 
 let estimate ?(conflict_penalty = 4) sg =
-  if Stg.n_signals sg.Sg.stg <= 16 then estimate_fast conflict_penalty sg
+  if Stg.n_signals (Sg.stg sg) <= 16 then estimate_fast conflict_penalty sg
   else
     let cost_of sigid =
       let on, off, conflicts = on_off_sets sg sigid in
-      let nsig = Stg.n_signals sg.Sg.stg in
+      let nsig = Stg.n_signals (Sg.stg sg) in
       Boolf.estimate_literals ~n:nsig ~on ~off + (conflict_penalty * conflicts)
     in
     List.fold_left
@@ -285,7 +278,7 @@ let area impl =
 
 let render impl =
   let names =
-    Array.map (fun s -> s.Stg.Signal.name) impl.sg.Sg.stg.Stg.signals
+    Array.map (fun s -> s.Stg.Signal.name) (Sg.stg impl.sg).Stg.signals
   in
   let line si =
     let name = names.(si.signal) in

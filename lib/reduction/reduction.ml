@@ -16,9 +16,10 @@ let pp_invalid stg ppf = function
         (Stg.label_name stg lab) (Stg.label_name stg by) s
 
 let back_reach sg ~within targets =
-  let inside = Array.make sg.Sg.n false in
+  let n = Sg.n_states sg in
+  let inside = Array.make n false in
   List.iter (fun s -> inside.(s) <- true) within;
-  let reached = Array.make sg.Sg.n false in
+  let reached = Array.make n false in
   let queue = Queue.create () in
   let visit s =
     if inside.(s) && not reached.(s) then begin
@@ -27,13 +28,12 @@ let back_reach sg ~within targets =
     end
   in
   List.iter visit targets;
-  let pred = Sg.pred sg in
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    Array.iter (fun (_, s') -> visit s') pred.(s)
+    Sg.iter_pred sg s (fun _ s' -> visit s')
   done;
   let acc = ref [] in
-  for s = sg.Sg.n - 1 downto 0 do
+  for s = n - 1 downto 0 do
     if reached.(s) then acc := s :: !acc
   done;
   !acc
@@ -42,8 +42,16 @@ let label_is_input stg = function
   | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
   | Stg.Dummy _ -> false
 
+(* Transitions carrying label [a] as a dense bool table: the arc filters
+   below test membership once per arc, so a per-transition lookup beats a
+   label comparison. *)
+let trans_with_label stg a =
+  let tbl = Array.make (Petri.n_trans stg.Stg.net) false in
+  List.iter (fun tr -> tbl.(tr) <- true) (Stg.instances stg a);
+  tbl
+
 (* Def. 5.1 validity checks over an already-pruned candidate
-   ({!Sg.make_mapped_arcs} prunes unreachable states in one BFS): the
+   ({!Sg.filter_arcs} prunes unreachable states in one BFS): the
    reachable label set can only shrink under arc removal, so vanishing is
    the source's cached {!Sg.arc_label_instances} minus the reduced one,
    and a new deadlock is a reduced state with no successors whose source
@@ -52,10 +60,8 @@ let label_is_input stg = function
 let validate ~source (reduced, old_of_new) =
   (* Transitions still firing somewhere in the pruned graph: a plain sweep
      ([Petri.trans] is a dense int), no hashing. *)
-  let seen_tr = Array.make (Petri.n_trans source.Sg.stg.Stg.net) false in
-  Array.iter
-    (Array.iter (fun (tr, _) -> seen_tr.(tr) <- true))
-    reduced.Sg.succ;
+  let seen_tr = Array.make (Petri.n_trans (Sg.stg source).Stg.net) false in
+  Sg.iter_arcs reduced (fun _ tr _ -> seen_tr.(tr) <- true);
   let vanished =
     List.find_opt
       (fun (_, trs) -> not (List.exists (fun tr -> seen_tr.(tr)) trs))
@@ -67,8 +73,8 @@ let validate ~source (reduced, old_of_new) =
       let deadlock = ref None in
       for s_new = Sg.n_states reduced - 1 downto 0 do
         if
-          Array.length reduced.Sg.succ.(s_new) = 0
-          && Array.length source.Sg.succ.(old_of_new.(s_new)) > 0
+          Sg.out_degree reduced s_new = 0
+          && Sg.out_degree source old_of_new.(s_new) > 0
         then deadlock := Some old_of_new.(s_new)
       done;
       match !deadlock with
@@ -84,16 +90,12 @@ let validate ~source (reduced, old_of_new) =
                    apply, accept the reduction as-is. *)
                 Ok reduced))
 
-let build_pruned sg succ =
-  Sg.make_mapped_arcs ~unconstrained:sg.Sg.unconstrained ~stg:sg.Sg.stg
-    ~markings:sg.Sg.markings ~codes:sg.Sg.codes ~succ ~initial:sg.Sg.initial
-
 let fwd_red_built sg ~a ~b =
-  let stg = sg.Sg.stg in
+  let stg = Sg.stg sg in
   if label_is_input stg a then Error Input_event
   else
     let era = Sg.er sg a and erb = Sg.er sg b in
-    let in_erb = Array.make sg.Sg.n false in
+    let in_erb = Array.make (Sg.n_states sg) false in
     List.iter (fun s -> in_erb.(s) <- true) erb;
     let inter = List.filter (fun s -> in_erb.(s)) era in
     if inter = [] then Error Not_concurrent
@@ -103,24 +105,12 @@ let fwd_red_built sg ~a ~b =
          ER(a) makes [a] vanish — reject before building anything. *)
       if List.compare_lengths removed era = 0 then Error (Event_vanishes a)
       else begin
-      (* unmodified rows are shared with the source, not copied *)
-      let succ = Array.copy sg.Sg.succ in
-      List.iter
-        (fun s ->
-          let row = sg.Sg.succ.(s) in
-          let out = Array.copy row in
-          let k = ref 0 in
-          Array.iter
-            (fun ((tr, _) as arc) ->
-              if Stg.label stg tr <> a then begin
-                out.(!k) <- arc;
-                incr k
-              end)
-            row;
-          succ.(s) <-
-            (if !k = Array.length row then out else Array.sub out 0 !k))
-        removed;
-      Ok (build_pruned sg succ)
+        let removed_set = Array.make (Sg.n_states sg) false in
+        List.iter (fun s -> removed_set.(s) <- true) removed;
+        let is_a = trans_with_label stg a in
+        Ok
+          (Sg.filter_arcs sg ~keep:(fun s tr _ ->
+               not (removed_set.(s) && is_a.(tr))))
       end
     end
 
@@ -133,37 +123,36 @@ let fwd_red sg ~a ~b =
    event from ONE state only, provided the event remains enabled elsewhere.
    Expensive to search over but strictly more general than FwdRed. *)
 let remove_arc sg ~state ~a =
-  let stg = sg.Sg.stg in
+  let stg = Sg.stg sg in
   if label_is_input stg a then Error Input_event
   else if not (List.mem a (Sg.enabled_labels sg state)) then
     Error Not_concurrent
   else begin
-    let succ = Array.copy sg.Sg.succ in
-    succ.(state) <-
-      Array.of_list
-        (List.filter
-           (fun (tr, _) -> Stg.label stg tr <> a)
-           (Array.to_list sg.Sg.succ.(state)));
-    validate ~source:sg (build_pruned sg succ)
+    let is_a = trans_with_label stg a in
+    validate ~source:sg
+      (Sg.filter_arcs sg ~keep:(fun s tr _ -> not (s = state && is_a.(tr))))
   end
 
 let creates_arc sg ~a ~b =
   let era = Sg.er sg a in
-  let pred = Sg.pred sg in
-  let in_era = Array.make sg.Sg.n false in
+  let in_era = Array.make (Sg.n_states sg) false in
   List.iter (fun s -> in_era.(s) <- true) era;
   (* minimal in ER: no predecessor inside the ER *)
   let minimal s =
-    not (Array.exists (fun (_, sp) -> in_era.(sp)) pred.(s))
+    let inside = ref false in
+    Sg.iter_pred sg s (fun _ sp -> if in_era.(sp) then inside := true);
+    not !inside
   in
   let minimals = List.filter minimal era in
   minimals <> []
   && List.for_all
        (fun s ->
-         Array.length pred.(s) > 0
-         && Array.for_all
-              (fun (tr, _) -> Stg.label sg.Sg.stg tr = b)
-              pred.(s))
+         Sg.in_degree sg s > 0
+         &&
+         let all_b = ref true in
+         Sg.iter_pred sg s (fun tr _ ->
+             if Stg.label (Sg.stg sg) tr <> b then all_b := false);
+         !all_b)
        minimals
 
 (* Which of two labels can fire first from the initial state: explore until
@@ -171,23 +160,23 @@ let creates_arc sg ~a ~b =
 let first_fired sg ~a ~b =
   let can_first target other =
     (* path from initial reaching a [target] arc with no [other] arc before *)
-    let seen = Array.make sg.Sg.n false in
+    let seen = Array.make (Sg.n_states sg) false in
     let rec dfs s =
       seen.(s) <- true;
-      Array.exists
-        (fun (tr, s') ->
-          let lab = Stg.label sg.Sg.stg tr in
+      Sg.fold_succ sg s false (fun acc tr s' ->
+          acc
+          ||
+          let lab = Stg.label (Sg.stg sg) tr in
           if lab = target then true
           else if lab = other then false
           else (not seen.(s')) && dfs s')
-        sg.Sg.succ.(s)
     in
-    dfs sg.Sg.initial
+    dfs (Sg.initial sg)
   in
   (can_first a b, can_first b a)
 
 let realize ~applied reduced =
-  let stg = reduced.Sg.stg in
+  let stg = Sg.stg reduced in
   let pairs = List.sort_uniq compare applied in
   let rec constrain stg_acc = function
     | [] -> Ok stg_acc

@@ -5,14 +5,10 @@ type crossing = Enters | Exits | Nocross | Violates
 (* Arcs of each label, as (source, target) pairs. *)
 let label_arcs sg =
   let tbl = Hashtbl.create 16 in
-  for s = 0 to sg.Sg.n - 1 do
-    Array.iter
-      (fun (tr, s') ->
-        let lab = Stg.label sg.Sg.stg tr in
-        let prev = try Hashtbl.find tbl lab with Not_found -> [] in
-        Hashtbl.replace tbl lab ((s, s') :: prev))
-      sg.Sg.succ.(s)
-  done;
+  Sg.iter_arcs sg (fun s tr s' ->
+      let lab = Stg.label (Sg.stg sg) tr in
+      let prev = try Hashtbl.find tbl lab with Not_found -> [] in
+      Hashtbl.replace tbl lab ((s, s') :: prev));
   tbl
 
 let classify_arcs in_r arcs =
@@ -30,7 +26,7 @@ let classify_arcs in_r arcs =
   else Violates
 
 let crossing sg set lab =
-  let in_set = Array.make sg.Sg.n false in
+  let in_set = Array.make (Sg.n_states sg) false in
   List.iter (fun s -> in_set.(s) <- true) set;
   let arcs =
     match Hashtbl.find_opt (label_arcs sg) lab with
@@ -40,7 +36,7 @@ let crossing sg set lab =
   classify_arcs (fun s -> in_set.(s)) arcs
 
 let is_region sg set =
-  let in_set = Array.make sg.Sg.n false in
+  let in_set = Array.make (Sg.n_states sg) false in
   List.iter (fun s -> in_set.(s) <- true) set;
   let arcs = label_arcs sg in
   Hashtbl.fold
@@ -70,7 +66,7 @@ let bs_count b =
 exception Budget
 
 let explore_regions ?(budget = 50_000) sg =
-  let n = sg.Sg.n in
+  let n = Sg.n_states sg in
   if n = 0 then invalid_arg "Regions: empty SG";
   let arcs_tbl = label_arcs sg in
   let labels = Hashtbl.fold (fun l _ acc -> l :: acc) arcs_tbl [] in
@@ -158,7 +154,7 @@ let minimal_regions ?budget sg =
   |> List.sort compare
 
 let synthesize ?budget sg =
-  let stg = sg.Sg.stg in
+  let stg = Sg.stg sg in
   let arcs_tbl = label_arcs sg in
   let labels =
     (* stable order: by first transition id carrying the label *)
@@ -172,7 +168,7 @@ let synthesize ?budget sg =
     let in_region =
       Array.map
         (fun r ->
-          let b = Array.make sg.Sg.n false in
+          let b = Array.make (Sg.n_states sg) false in
           List.iter (fun s -> b.(s) <- true) r;
           b)
         region_arr
@@ -199,7 +195,7 @@ let synthesize ?budget sg =
               let inter =
                 List.filter
                   (fun s -> List.for_all (fun r -> in_region.(r).(s)) pre)
-                  (List.init sg.Sg.n Fun.id)
+                  (List.init (Sg.n_states sg) Fun.id)
               in
               inter <> er lab)
         labels
@@ -217,7 +213,7 @@ let synthesize ?budget sg =
           Array.init n_regions (fun r ->
               Petri.Builder.add_place b
                 ~name:(Printf.sprintf "r%d" r)
-                ~tokens:(if in_region.(r).(sg.Sg.initial) then 1 else 0))
+                ~tokens:(if in_region.(r).((Sg.initial sg)) then 1 else 0))
         in
         let trans_of_label = Hashtbl.create 16 in
         List.iter

@@ -38,7 +38,7 @@ let in_keep keep a b =
    be "seen" if an identical one was already processed. *)
 let neighbours ?(keep_conc = []) ?(skip = fun _ -> false) cfg =
   let sg = cfg.sg in
-  let stg = sg.Sg.stg in
+  let stg = Sg.stg sg in
   let pairs = Sg.concurrent_pairs sg in
   let is_input lab =
     match lab with
@@ -107,7 +107,7 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   let levels = ref 0 in
   let fanout = ref [] in
   let parallel = match pool with Some p -> Pool.jobs p > 1 | None -> false in
-  let stg = sg0.Sg.stg in
+  let stg = Sg.stg sg0 in
   let is_input lab =
     match lab with
     | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)

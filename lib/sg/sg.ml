@@ -1,9 +1,17 @@
 type state = int
 
-(* Memoized analyses, filled on first use.  Sound because a [t] is
-   immutable after construction: the record is [private] outside this
-   module and no function mutates the graph arrays (see DESIGN.md,
-   "Analysis cache"). *)
+(* Packed representation (see DESIGN.md, "Packed state-graph core"):
+   codes is one flat word vector, [wps] words per state, 63 bits per word,
+   bit [sigid mod 63] of word [s*wps + sigid/63] = value of signal [sigid]
+   in state [s].  Arcs are compressed sparse rows: the outgoing arcs of
+   state [s] are the index range [off.(s) .. off.(s+1)-1] of the parallel
+   arrays [arc_tr] (transition ids) and [arc_dst] (target states).  A [t]
+   is immutable after construction; the memoized analyses below are sound
+   because no function mutates the graph arrays. *)
+
+let bits_per_word = 63
+let words_per_state nsig = max 1 ((nsig + bits_per_word - 1) / bits_per_word)
+
 type conc_rel = {
   conc_labels : Stg.label array;
   conc_idx : (Stg.label, int) Hashtbl.t;
@@ -11,8 +19,9 @@ type conc_rel = {
 }
 
 type cache = {
-  mutable c_pred : (Petri.trans * state) array array option;
-      (** reverse arc index, derived from [succ] on first backward walk *)
+  mutable c_pred : (int array * int array * int array) option;
+      (** reverse CSR (p_off, p_tr, p_src), derived from the forward arcs
+          on first backward walk *)
   mutable c_enabled : Stg.label array array option;
   mutable c_controlled : Stg.label list option array option;
       (** per-state memo, filled lazily: only USC-conflicting states are
@@ -41,9 +50,13 @@ let fresh_cache () =
 type t = {
   stg : Stg.t;
   n : int;
+  nsig : int;
+  wps : int;
   markings : Petri.marking array;
-  codes : Bytes.t array;
-  succ : (Petri.trans * state) array array;
+  codes : int array;
+  off : int array;  (** n+1 entries *)
+  arc_tr : int array;
+  arc_dst : int array;
   initial : state;
   unconstrained : int list;
   cache : cache;
@@ -55,65 +68,294 @@ let pp_error ppf = function
   | Inconsistent msg -> Format.fprintf ppf "inconsistent encoding: %s" msg
   | Unbounded budget -> Format.fprintf ppf "state budget exceeded (%d)" budget
 
-module Mtbl = Hashtbl.Make (struct
-  type t = Petri.marking
+(* ------------------------------------------------------------------ *)
+(* Structure accessors *)
 
-  let equal = Petri.Marking.equal
-  let hash = Petri.Marking.hash
-end)
+let stg sg = sg.stg
+let n_states sg = sg.n
+let initial sg = sg.initial
+let marking sg s = sg.markings.(s)
+let states sg = List.init sg.n Fun.id
+let unconstrained_signals sg = sg.unconstrained
+let n_arcs sg = sg.off.(sg.n)
+let out_degree sg s = sg.off.(s + 1) - sg.off.(s)
+
+let iter_succ sg s f =
+  for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+    f sg.arc_tr.(k) sg.arc_dst.(k)
+  done
+
+let fold_succ sg s init f =
+  let acc = ref init in
+  for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+    acc := f !acc sg.arc_tr.(k) sg.arc_dst.(k)
+  done;
+  !acc
+
+let iter_arcs sg f =
+  for s = 0 to sg.n - 1 do
+    for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+      f s sg.arc_tr.(k) sg.arc_dst.(k)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Codes *)
+
+let value sg s sigid =
+  if sg.wps = 1 then (sg.codes.(s) lsr sigid) land 1
+  else
+    (sg.codes.((s * sg.wps) + (sigid / bits_per_word))
+    lsr (sigid mod bits_per_word))
+    land 1
+
+let code sg s =
+  String.init sg.nsig (fun i -> if value sg s i = 1 then '1' else '0')
+
+let code_bits sg s =
+  if sg.nsig > 62 then
+    invalid_arg "Sg.code_bits: more than 62 signals";
+  sg.codes.(s)
+
+(* ------------------------------------------------------------------ *)
+(* Reverse arcs *)
+
+(* Reverse CSR, derived from the forward arcs on first use and cached.
+   Most SGs built during the reduction search are evaluated (cost
+   function, signature) and discarded without ever walking backwards, so
+   building the index eagerly at construction was pure waste. *)
+let pred sg =
+  match sg.cache.c_pred with
+  | Some p -> p
+  | None ->
+      let m = n_arcs sg in
+      let p_off = Array.make (sg.n + 1) 0 in
+      for k = 0 to m - 1 do
+        let d = sg.arc_dst.(k) in
+        p_off.(d + 1) <- p_off.(d + 1) + 1
+      done;
+      for i = 1 to sg.n do
+        p_off.(i) <- p_off.(i) + p_off.(i - 1)
+      done;
+      let p_tr = Array.make m 0 and p_src = Array.make m 0 in
+      let pos = Array.sub p_off 0 sg.n in
+      for s = 0 to sg.n - 1 do
+        for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+          let d = sg.arc_dst.(k) in
+          let i = pos.(d) in
+          p_tr.(i) <- sg.arc_tr.(k);
+          p_src.(i) <- s;
+          pos.(d) <- i + 1
+        done
+      done;
+      let p = (p_off, p_tr, p_src) in
+      sg.cache.c_pred <- Some p;
+      p
+
+let in_degree sg s =
+  let p_off, _, _ = pred sg in
+  p_off.(s + 1) - p_off.(s)
+
+let iter_pred sg s f =
+  let p_off, p_tr, p_src = pred sg in
+  for k = p_off.(s) to p_off.(s + 1) - 1 do
+    f p_tr.(k) p_src.(k)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Enabled labels *)
+
+(* Per-state enabled-label arrays (deduplicated, first-seen order),
+   computed once per SG. *)
+let enabled_arrays sg =
+  match sg.cache.c_enabled with
+  | Some e -> e
+  | None ->
+      let e =
+        Array.init sg.n (fun s ->
+            let lo = sg.off.(s) in
+            let deg = sg.off.(s + 1) - lo in
+            (* in-place prefix dedup — state out-degrees are tiny *)
+            let a =
+              Array.init deg (fun j -> Stg.label sg.stg sg.arc_tr.(lo + j))
+            in
+            let k = ref 0 in
+            Array.iter
+              (fun lab ->
+                let dup = ref false in
+                for j = 0 to !k - 1 do
+                  if a.(j) = lab then dup := true
+                done;
+                if not !dup then begin
+                  a.(!k) <- lab;
+                  incr k
+                end)
+              a;
+            if !k = deg then a else Array.sub a 0 !k)
+      in
+      sg.cache.c_enabled <- Some e;
+      e
+
+let enabled_labels sg s = Array.to_list (enabled_arrays sg).(s)
+
+let code_display sg s =
+  let excited = Array.make sg.nsig false in
+  iter_succ sg s (fun tr _ ->
+      match Stg.label sg.stg tr with
+      | Stg.Edge (sigid, _) -> excited.(sigid) <- true
+      | Stg.Dummy _ -> ());
+  let buf = Buffer.create (sg.nsig * 2) in
+  for sigid = 0 to sg.nsig - 1 do
+    Buffer.add_char buf (if value sg s sigid = 1 then '1' else '0');
+    if excited.(sigid) then Buffer.add_char buf '*'
+  done;
+  Buffer.contents buf
+
+let succ_by_label sg s lab =
+  let acc = ref [] in
+  for k = sg.off.(s + 1) - 1 downto sg.off.(s) do
+    if Stg.label sg.stg sg.arc_tr.(k) = lab then acc := sg.arc_dst.(k) :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+module Builder = struct
+  type sg = t
+
+  type t = {
+    b_stg : Stg.t;
+    mutable b_marks : Petri.marking array;
+    mutable b_n : int;
+    mutable b_src : int array;
+    mutable b_tr : int array;
+    mutable b_dst : int array;
+    mutable b_m : int;
+  }
+
+  let create ?(expect = 256) stg =
+    let expect = max 1 expect in
+    {
+      b_stg = stg;
+      b_marks = Array.make expect [||];
+      b_n = 0;
+      b_src = Array.make (2 * expect) 0;
+      b_tr = Array.make (2 * expect) 0;
+      b_dst = Array.make (2 * expect) 0;
+      b_m = 0;
+    }
+
+  let add_state b m =
+    if b.b_n = Array.length b.b_marks then begin
+      let grown = Array.make (2 * b.b_n) [||] in
+      Array.blit b.b_marks 0 grown 0 b.b_n;
+      b.b_marks <- grown
+    end;
+    b.b_marks.(b.b_n) <- m;
+    b.b_n <- b.b_n + 1;
+    b.b_n - 1
+
+  let n_states b = b.b_n
+
+  let add_arc b s tr s' =
+    if b.b_m = Array.length b.b_src then begin
+      let cap = 2 * b.b_m in
+      let grow a =
+        let g = Array.make cap 0 in
+        Array.blit a 0 g 0 b.b_m;
+        g
+      in
+      b.b_src <- grow b.b_src;
+      b.b_tr <- grow b.b_tr;
+      b.b_dst <- grow b.b_dst
+    end;
+    b.b_src.(b.b_m) <- s;
+    b.b_tr.(b.b_m) <- tr;
+    b.b_dst.(b.b_m) <- s';
+    b.b_m <- b.b_m + 1
+
+  let build ?(unconstrained = []) b ~code ~initial : sg =
+    let n = b.b_n and m = b.b_m in
+    if initial < 0 || initial >= n then
+      invalid_arg "Sg.Builder.build: initial state was never added";
+    for k = 0 to m - 1 do
+      if
+        b.b_src.(k) < 0 || b.b_src.(k) >= n || b.b_dst.(k) < 0
+        || b.b_dst.(k) >= n
+      then invalid_arg "Sg.Builder.build: arc endpoint was never added"
+    done;
+    (* Stable counting sort of the arcs by source: per-source insertion
+       order is preserved, so rows read back in [add_arc] order. *)
+    let off = Array.make (n + 1) 0 in
+    for k = 0 to m - 1 do
+      off.(b.b_src.(k) + 1) <- off.(b.b_src.(k) + 1) + 1
+    done;
+    for i = 1 to n do
+      off.(i) <- off.(i) + off.(i - 1)
+    done;
+    let arc_tr = Array.make m 0 and arc_dst = Array.make m 0 in
+    let pos = Array.sub off 0 n in
+    for k = 0 to m - 1 do
+      let s = b.b_src.(k) in
+      let i = pos.(s) in
+      arc_tr.(i) <- b.b_tr.(k);
+      arc_dst.(i) <- b.b_dst.(k);
+      pos.(s) <- i + 1
+    done;
+    (* Every state must be reachable from the initial one: the analyses
+       (arc_label_instances in particular) rely on it. *)
+    let seen = Array.make n false in
+    seen.(initial) <- true;
+    let queue = Queue.create () in
+    Queue.add initial queue;
+    let reached = ref 1 in
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      for k = off.(s) to off.(s + 1) - 1 do
+        let d = arc_dst.(k) in
+        if not seen.(d) then begin
+          seen.(d) <- true;
+          incr reached;
+          Queue.add d queue
+        end
+      done
+    done;
+    if !reached < n then
+      invalid_arg
+        (Printf.sprintf
+           "Sg.Builder.build: %d of %d states unreachable from the initial \
+            state"
+           (n - !reached) n);
+    let nsig = Stg.n_signals b.b_stg in
+    let wps = words_per_state nsig in
+    let codes = Array.make (n * wps) 0 in
+    for s = 0 to n - 1 do
+      let row = s * wps in
+      for i = 0 to nsig - 1 do
+        if code s i <> 0 then
+          codes.(row + (i / bits_per_word)) <-
+            codes.(row + (i / bits_per_word))
+            lor (1 lsl (i mod bits_per_word))
+      done
+    done;
+    {
+      stg = b.b_stg;
+      n;
+      nsig;
+      wps;
+      markings = Array.sub b.b_marks 0 n;
+      codes;
+      off;
+      arc_tr;
+      arc_dst;
+      initial;
+      unconstrained;
+      cache = fresh_cache ();
+    }
+end
 
 exception Inconsistency of string
-
-(* Infer initial values from per-state parities and enabledness, and derive
-   the binary codes; raises Inconsistency on contradiction.  [overrides]
-   pins initial values up front (still checked against the inferred
-   constraints).  Signals left unconstrained by both default to 0 and are
-   reported in the second component. *)
-let encode ?(overrides = []) stg parity succ =
-  let nsig = Stg.n_signals stg in
-  let n = Array.length parity in
-  (* Infer initial values from enabledness: a+ enabled in s means
-     v0 xor parity = 0; a- means 1. *)
-  let v0 = Array.make nsig (-1) in
-  List.iter
-    (fun (sigid, v) ->
-      if v <> 0 && v <> 1 then
-        invalid_arg "Sg: initial_values entries must be 0 or 1";
-      v0.(sigid) <- v)
-    overrides;
-  let constrain sigid want s tr =
-    let v = want lxor parity.(s).(sigid) in
-    if v0.(sigid) = -1 then v0.(sigid) <- v
-    else if v0.(sigid) <> v then
-      raise
-        (Inconsistency
-           (Printf.sprintf "signal %s: conflicting initial value via %s"
-              (Stg.signal stg sigid).Stg.Signal.name
-              (Stg.trans_display stg tr)))
-  in
-  for s = 0 to n - 1 do
-    let check (tr, _) =
-      match Stg.label stg tr with
-      | Stg.Edge (sigid, Stg.Plus) -> constrain sigid 0 s tr
-      | Stg.Edge (sigid, Stg.Minus) -> constrain sigid 1 s tr
-      | Stg.Edge (_, Stg.Toggle) | Stg.Dummy _ -> ()
-    in
-    List.iter check succ.(s)
-  done;
-  let unconstrained = ref [] in
-  for sigid = nsig - 1 downto 0 do
-    if v0.(sigid) = -1 then unconstrained := sigid :: !unconstrained
-  done;
-  let codes =
-    Array.init n (fun s ->
-        let bytes = Bytes.create nsig in
-        for sigid = 0 to nsig - 1 do
-          let v = (max v0.(sigid) 0) lxor parity.(s).(sigid) in
-          Bytes.set bytes sigid (if v = 1 then '1' else '0')
-        done;
-        bytes)
-  in
-  (codes, !unconstrained)
 
 let default_warn msg = Printf.eprintf "sg: warning: %s\n%!" msg
 
@@ -124,19 +366,23 @@ let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
     stg =
   let net = stg.Stg.net in
   let nsig = Stg.n_signals stg in
+  let b = Builder.create ~expect:1024 stg in
   let index = Hashtbl.create 1024 in
   let key m par = (Array.to_list m, Bytes.to_string par) in
-  let markings_rev = ref [] and parities_rev = ref [] and count = ref 0 in
+  let parities = ref (Array.make 1024 Bytes.empty) in
   let intern m par =
     let k = key m par in
     match Hashtbl.find_opt index k with
     | Some i -> (i, false)
     | None ->
-        let i = !count in
-        incr count;
+        let i = Builder.add_state b m in
+        if i = Array.length !parities then begin
+          let grown = Array.make (2 * i) Bytes.empty in
+          Array.blit !parities 0 grown 0 i;
+          parities := grown
+        end;
+        !parities.(i) <- par;
         Hashtbl.replace index k i;
-        markings_rev := m :: !markings_rev;
-        parities_rev := par :: !parities_rev;
         (i, true)
   in
   let start = Petri.initial_marking net in
@@ -144,7 +390,6 @@ let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
   let s0, _ = intern start par0 in
   let queue = Queue.create () in
   Queue.add (s0, start, par0) queue;
-  let arcs_rev = ref [] in
   (try
      while not (Queue.is_empty queue) do
        let s, m, par = Queue.pop queue in
@@ -160,41 +405,58 @@ let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
            | Stg.Dummy _ -> par
          in
          let s', fresh = intern m' par' in
-         if !count > budget then raise Exit;
-         arcs_rev := (s, tr, s') :: !arcs_rev;
+         if Builder.n_states b > budget then raise Exit;
+         Builder.add_arc b s tr s';
          if fresh then Queue.add (s', m', par') queue
        in
        List.iter expand (Petri.enabled_all net m)
      done
    with Exit -> ());
-  if !count > budget then Error (Unbounded budget)
-  else
-    let n = !count in
-    let markings = Array.of_list (List.rev !markings_rev) in
-    let parities =
-      List.rev !parities_rev
-      |> List.map (fun b ->
-             Array.init nsig (fun i -> Char.code (Bytes.get b i)))
-      |> Array.of_list
-    in
-    let succ_l = Array.make n [] in
+  if Builder.n_states b > budget then Error (Unbounded budget)
+  else begin
+    let parities = !parities in
+    (* Infer initial values from enabledness: a+ enabled in s means
+       v0 xor parity = 0; a- means 1.  [initial_values] pins values up
+       front (still checked against the inferred constraints); signals
+       left unconstrained by both default to 0. *)
+    let v0 = Array.make nsig (-1) in
     List.iter
-      (fun (s, tr, s') -> succ_l.(s) <- (tr, s') :: succ_l.(s))
-      !arcs_rev;
-    Array.iteri (fun s l -> succ_l.(s) <- List.rev l) succ_l;
-    let overrides =
-      List.map
-        (fun (name, v) ->
-          match Stg.signal_of_name stg name with
-          | sigid -> (sigid, v)
-          | exception Not_found ->
-              invalid_arg
-                (Printf.sprintf "Sg.of_stg: unknown signal %s in initial_values"
-                   name))
-        initial_values
+      (fun (name, v) ->
+        if v <> 0 && v <> 1 then
+          invalid_arg "Sg: initial_values entries must be 0 or 1";
+        match Stg.signal_of_name stg name with
+        | sigid -> v0.(sigid) <- v
+        | exception Not_found ->
+            invalid_arg
+              (Printf.sprintf "Sg.of_stg: unknown signal %s in initial_values"
+                 name))
+      initial_values;
+    let constrain sigid want s tr =
+      let v = want lxor Char.code (Bytes.get parities.(s) sigid) in
+      if v0.(sigid) = -1 then v0.(sigid) <- v
+      else if v0.(sigid) <> v then
+        raise
+          (Inconsistency
+             (Printf.sprintf "signal %s: conflicting initial value via %s"
+                (Stg.signal stg sigid).Stg.Signal.name
+                (Stg.trans_display stg tr)))
     in
-    match encode ~overrides stg parities succ_l with
-    | codes, unconstrained ->
+    match
+      for k = 0 to b.Builder.b_m - 1 do
+        let tr = b.Builder.b_tr.(k) in
+        match Stg.label stg tr with
+        | Stg.Edge (sigid, Stg.Plus) ->
+            constrain sigid 0 b.Builder.b_src.(k) tr
+        | Stg.Edge (sigid, Stg.Minus) ->
+            constrain sigid 1 b.Builder.b_src.(k) tr
+        | Stg.Edge (_, Stg.Toggle) | Stg.Dummy _ -> ()
+      done
+    with
+    | () ->
+        let unconstrained = ref [] in
+        for sigid = nsig - 1 downto 0 do
+          if v0.(sigid) = -1 then unconstrained := sigid :: !unconstrained
+        done;
         List.iter
           (fun sigid ->
             let s = Stg.signal stg sigid in
@@ -206,161 +468,131 @@ let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
                     pin it)"
                    (Format.asprintf "%a" Stg.Signal.pp_kind s.Stg.Signal.kind)
                    s.Stg.Signal.name))
-          unconstrained;
-        Ok
-          {
-            stg;
-            n;
-            markings;
-            codes;
-            succ = Array.map Array.of_list succ_l;
-            initial = s0;
-            unconstrained;
-            cache = fresh_cache ();
-          }
+          !unconstrained;
+        let code s i =
+          (max v0.(i) 0) lxor Char.code (Bytes.get parities.(s) i)
+        in
+        Ok (Builder.build ~unconstrained:!unconstrained b ~code ~initial:s0)
     | exception Inconsistency msg -> Error (Inconsistent msg)
+  end
 
-let make_mapped_arcs ~unconstrained ~stg ~markings ~codes ~succ ~initial =
-  let n_old = Array.length markings in
-  (* BFS from initial over the given arcs to find reachable states. *)
-  let remap = Array.make n_old (-1) in
-  let order = ref [] and count = ref 0 in
-  let queue = Queue.create () in
-  remap.(initial) <- 0;
-  incr count;
-  order := [ initial ];
-  Queue.add initial queue;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
-    let visit (_, s') =
-      if remap.(s') = -1 then begin
-        remap.(s') <- !count;
-        incr count;
-        order := s' :: !order;
-        Queue.add s' queue
-      end
-    in
-    Array.iter visit succ.(s)
+(* Rebuild keeping only the arcs [keep] accepts, pruning states no longer
+   reachable from the initial state and renumbering in BFS order.  This is
+   the hot path of the reduction search (one call per candidate): [keep]
+   runs once per arc, codes and markings are copied row-wise, arcs go
+   straight into the new CSR arrays — no per-state allocation. *)
+let filter_arcs sg ~keep =
+  let n_old = sg.n in
+  let m_old = n_arcs sg in
+  let kept = Bytes.make m_old '\000' in
+  for s = 0 to n_old - 1 do
+    for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+      if keep s sg.arc_tr.(k) sg.arc_dst.(k) then Bytes.set kept k '\001'
+    done
   done;
-  let old_of_new = Array.of_list (List.rev !order) in
+  (* BFS over kept arcs; [old_of_new] doubles as the queue. *)
+  let remap = Array.make n_old (-1) in
+  let old_of_new = Array.make n_old 0 in
+  remap.(sg.initial) <- 0;
+  old_of_new.(0) <- sg.initial;
+  let count = ref 1 and head = ref 0 in
+  while !head < !count do
+    let s = old_of_new.(!head) in
+    incr head;
+    for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+      if Bytes.get kept k = '\001' then begin
+        let d = sg.arc_dst.(k) in
+        if remap.(d) = -1 then begin
+          remap.(d) <- !count;
+          old_of_new.(!count) <- d;
+          incr count
+        end
+      end
+    done
+  done;
   let n = !count in
-  (* Build the renumbered arc arrays directly — this runs once per search
-     candidate, so no intermediate cons lists. *)
-  let succ_arr =
-    Array.init n (fun s_new ->
-        Array.map
-          (fun (tr, s') -> (tr, remap.(s')))
-          succ.(old_of_new.(s_new)))
-  in
+  let old_of_new = if n = n_old then old_of_new else Array.sub old_of_new 0 n in
+  let noff = Array.make (n + 1) 0 in
+  for s_new = 0 to n - 1 do
+    let s = old_of_new.(s_new) in
+    let c = ref 0 in
+    for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+      if Bytes.get kept k = '\001' then incr c
+    done;
+    noff.(s_new + 1) <- !c
+  done;
+  for i = 1 to n do
+    noff.(i) <- noff.(i) + noff.(i - 1)
+  done;
+  let m = noff.(n) in
+  let ntr = Array.make m 0 and ndst = Array.make m 0 in
+  for s_new = 0 to n - 1 do
+    let s = old_of_new.(s_new) in
+    let p = ref noff.(s_new) in
+    for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+      if Bytes.get kept k = '\001' then begin
+        ntr.(!p) <- sg.arc_tr.(k);
+        ndst.(!p) <- remap.(sg.arc_dst.(k));
+        incr p
+      end
+    done
+  done;
+  let wps = sg.wps in
+  let ncodes = Array.make (n * wps) 0 in
+  for s_new = 0 to n - 1 do
+    Array.blit sg.codes (old_of_new.(s_new) * wps) ncodes (s_new * wps) wps
+  done;
   ( {
-      stg;
+      sg with
       n;
-      markings = Array.map (fun s -> markings.(s)) old_of_new;
-      codes = Array.map (fun s -> codes.(s)) old_of_new;
-      succ = succ_arr;
+      markings = Array.map (fun s -> sg.markings.(s)) old_of_new;
+      codes = ncodes;
+      off = noff;
+      arc_tr = ntr;
+      arc_dst = ndst;
       initial = 0;
-      unconstrained;
       cache = fresh_cache ();
     },
     old_of_new )
 
-let make_mapped ~unconstrained ~stg ~markings ~codes ~succ ~initial =
-  make_mapped_arcs ~unconstrained ~stg ~markings ~codes
-    ~succ:(Array.map Array.of_list succ)
-    ~initial
-
-let make ~unconstrained ~stg ~markings ~codes ~succ ~initial =
-  fst (make_mapped ~unconstrained ~stg ~markings ~codes ~succ ~initial)
-
-let n_states sg = sg.n
-
-let code sg s = Bytes.to_string sg.codes.(s)
-
-let value sg s sigid =
-  if Bytes.get sg.codes.(s) sigid = '1' then 1 else 0
-
-(* Reverse arc index, derived from [succ] on first use and cached.  Most
-   SGs built during the reduction search are evaluated (cost function,
-   signature) and discarded without ever walking backwards, so building
-   the index eagerly at construction was pure waste on the hot path. *)
-let pred sg =
-  match sg.cache.c_pred with
-  | Some p -> p
-  | None ->
-      let cnt = Array.make sg.n 0 in
-      Array.iter
-        (Array.iter (fun (_, s') -> cnt.(s') <- cnt.(s') + 1))
-        sg.succ;
-      let pred_arr = Array.init sg.n (fun s -> Array.make cnt.(s) (0, 0)) in
-      let pos = Array.make sg.n 0 in
-      Array.iteri
-        (fun s arcs ->
-          Array.iter
-            (fun (tr, s') ->
-              pred_arr.(s').(pos.(s')) <- (tr, s);
-              pos.(s') <- pos.(s') + 1)
-            arcs)
-        sg.succ;
-      sg.cache.c_pred <- Some pred_arr;
-      pred_arr
-
-(* Per-state enabled-label arrays (deduplicated, first-seen order),
-   computed once per SG. *)
-let enabled_arrays sg =
-  match sg.cache.c_enabled with
-  | Some e -> e
-  | None ->
-      let e =
-        Array.map
-          (fun arcs ->
-            (* in-place prefix dedup — state out-degrees are tiny *)
-            let a = Array.map (fun (tr, _) -> Stg.label sg.stg tr) arcs in
-            let k = ref 0 in
-            Array.iter
-              (fun lab ->
-                let dup = ref false in
-                for j = 0 to !k - 1 do
-                  if a.(j) = lab then dup := true
-                done;
-                if not !dup then begin
-                  a.(!k) <- lab;
-                  incr k
-                end)
-              a;
-            if !k = Array.length a then a else Array.sub a 0 !k)
-          sg.succ
-      in
-      sg.cache.c_enabled <- Some e;
-      e
-
-let enabled_labels sg s = Array.to_list (enabled_arrays sg).(s)
-
-let unconstrained_signals sg = sg.unconstrained
-
-let code_display sg s =
-  let nsig = Stg.n_signals sg.stg in
-  let excited = Array.make nsig false in
-  Array.iter
-    (fun (tr, _) ->
-      match Stg.label sg.stg tr with
-      | Stg.Edge (sigid, _) -> excited.(sigid) <- true
-      | Stg.Dummy _ -> ())
-    sg.succ.(s);
-  let buf = Buffer.create (nsig * 2) in
-  for sigid = 0 to nsig - 1 do
-    Buffer.add_char buf (Bytes.get sg.codes.(s) sigid);
-    if excited.(sigid) then Buffer.add_char buf '*'
+(* General arc rewiring over the same state space: materialize the given
+   rows into a temporary CSR sharing the codes/markings, then let
+   [filter_arcs] prune and renumber. *)
+let derive ?unconstrained sg ~arcs =
+  let unconstrained =
+    match unconstrained with Some u -> u | None -> sg.unconstrained
+  in
+  let rows = Array.init sg.n arcs in
+  let off = Array.make (sg.n + 1) 0 in
+  for s = 0 to sg.n - 1 do
+    off.(s + 1) <- off.(s) + List.length rows.(s)
   done;
-  Buffer.contents buf
+  let m = off.(sg.n) in
+  let arc_tr = Array.make m 0 and arc_dst = Array.make m 0 in
+  for s = 0 to sg.n - 1 do
+    List.iteri
+      (fun j (tr, s') ->
+        if s' < 0 || s' >= sg.n then
+          invalid_arg "Sg.derive: arc target outside the state space";
+        arc_tr.(off.(s) + j) <- tr;
+        arc_dst.(off.(s) + j) <- s')
+      rows.(s)
+  done;
+  let tmp =
+    { sg with off; arc_tr; arc_dst; unconstrained; cache = fresh_cache () }
+  in
+  filter_arcs tmp ~keep:(fun _ _ _ -> true)
 
-let succ_by_label sg s lab =
-  Array.to_list sg.succ.(s)
-  |> List.filter_map (fun (tr, s') ->
-         if Stg.label sg.stg tr = lab then Some s' else None)
+(* ------------------------------------------------------------------ *)
+(* Speed-independence *)
 
 let is_deterministic sg =
   let ok s =
-    let labs = Array.map (fun (tr, _) -> Stg.label sg.stg tr) sg.succ.(s) in
+    let lo = sg.off.(s) in
+    let deg = sg.off.(s + 1) - lo in
+    let labs =
+      Array.init deg (fun j -> Stg.label sg.stg sg.arc_tr.(lo + j))
+    in
     let sorted = List.sort compare (Array.to_list labs) in
     let rec distinct = function
       | [] | [ _ ] -> true
@@ -375,18 +607,26 @@ let is_commutative sg =
   (* For every s -a-> s1 and s -b-> s2 (a<>b as labels), if s1 -b-> x and
      s2 -a-> y then x = y. *)
   let ok s =
-    let arcs = sg.succ.(s) in
-    let check (tr1, s1) (tr2, s2) =
-      let a = Stg.label sg.stg tr1 and b = Stg.label sg.stg tr2 in
+    let lo = sg.off.(s) and hi = sg.off.(s + 1) - 1 in
+    let check k1 k2 =
+      let a = Stg.label sg.stg sg.arc_tr.(k1)
+      and b = Stg.label sg.stg sg.arc_tr.(k2) in
       a = b
       ||
-      let xs = succ_by_label sg s1 b and ys = succ_by_label sg s2 a in
+      let xs = succ_by_label sg sg.arc_dst.(k1) b
+      and ys = succ_by_label sg sg.arc_dst.(k2) a in
       match (xs, ys) with
       | [ x ], [ y ] -> x = y
       | [], _ | _, [] -> true
       | _ -> false
     in
-    Array.for_all (fun a1 -> Array.for_all (fun a2 -> check a1 a2) arcs) arcs
+    let res = ref true in
+    for k1 = lo to hi do
+      for k2 = lo to hi do
+        if !res && not (check k1 k2) then res := false
+      done
+    done;
+    !res
   in
   let rec loop s = s >= sg.n || (ok s && loop (s + 1)) in
   loop 0
@@ -394,8 +634,7 @@ let is_commutative sg =
 let label_is_controlled stg lab =
   (* outputs and internal signals must be persistent everywhere *)
   match lab with
-  | Stg.Edge (sigid, _) ->
-      not (Stg.Signal.is_input (Stg.signal stg sigid))
+  | Stg.Edge (sigid, _) -> not (Stg.Signal.is_input (Stg.signal stg sigid))
   | Stg.Dummy _ -> false
 
 let persistency_violations sg =
@@ -403,22 +642,20 @@ let persistency_violations sg =
   let viols = ref [] in
   for s = 0 to sg.n - 1 do
     let here = enabled.(s) in
-    let after (tr, s') =
-      let by = Stg.label sg.stg tr in
-      let there = enabled.(s') in
-      let check lab =
-        if lab <> by && not (Array.mem lab there) then begin
-          (* lab was disabled by firing [by]. Violation if lab is an
-             output/internal event, or lab is an input disabled by an
-             output/internal. *)
-          let lab_ctl = label_is_controlled sg.stg lab in
-          let by_ctl = label_is_controlled sg.stg by in
-          if lab_ctl || by_ctl then viols := (s, lab, by) :: !viols
-        end
-      in
-      Array.iter check here
-    in
-    Array.iter after sg.succ.(s)
+    iter_succ sg s (fun tr s' ->
+        let by = Stg.label sg.stg tr in
+        let there = enabled.(s') in
+        Array.iter
+          (fun lab ->
+            if lab <> by && not (Array.mem lab there) then begin
+              (* lab was disabled by firing [by]. Violation if lab is an
+                 output/internal event, or lab is an input disabled by an
+                 output/internal. *)
+              let lab_ctl = label_is_controlled sg.stg lab in
+              let by_ctl = label_is_controlled sg.stg by in
+              if lab_ctl || by_ctl then viols := (s, lab, by) :: !viols
+            end)
+          here)
   done;
   List.rev !viols
 
@@ -432,20 +669,18 @@ let first_persistency_violation sg =
   try
     for s = 0 to sg.n - 1 do
       let here = enabled.(s) in
-      let after (tr, s') =
-        let by = Stg.label sg.stg tr in
-        let there = enabled.(s') in
-        let check lab =
-          if
-            lab <> by
-            && (not (Array.mem lab there))
-            && (label_is_controlled sg.stg lab
-               || label_is_controlled sg.stg by)
-          then raise (Found_violation (s, lab, by))
-        in
-        Array.iter check here
-      in
-      Array.iter after sg.succ.(s)
+      iter_succ sg s (fun tr s' ->
+          let by = Stg.label sg.stg tr in
+          let there = enabled.(s') in
+          Array.iter
+            (fun lab ->
+              if
+                lab <> by
+                && (not (Array.mem lab there))
+                && (label_is_controlled sg.stg lab
+                   || label_is_controlled sg.stg by)
+              then raise (Found_violation (s, lab, by)))
+            here)
     done;
     None
   with Found_violation v -> Some v
@@ -463,6 +698,9 @@ let is_output_persistent sg =
 
 let is_speed_independent sg =
   is_deterministic sg && is_commutative sg && is_output_persistent sg
+
+(* ------------------------------------------------------------------ *)
+(* State coding *)
 
 (* Sorted controlled-label list of one state, memoized per state.  Lazy on
    purpose: CSC conflict detection only needs it for the (few) states that
@@ -487,11 +725,22 @@ let controlled_labels sg s =
       memo.(s) <- Some l;
       l
 
+(* Lexicographic order on packed code rows: an arbitrary but fixed total
+   order, used only to group equal codes. *)
+let compare_codes sg s1 s2 =
+  let r1 = s1 * sg.wps and r2 = s2 * sg.wps in
+  let rec go i =
+    if i = sg.wps then 0
+    else
+      let c = compare sg.codes.(r1 + i) sg.codes.(r2 + i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
 let group_by_code sg =
   let tbl = Hashtbl.create sg.n in
   for s = sg.n - 1 downto 0 do
-    let key = Bytes.to_string sg.codes.(s) in
+    let key = code sg s in
     let prev = try Hashtbl.find tbl key with Not_found -> [] in
     Hashtbl.replace tbl key (s :: prev)
   done;
@@ -538,14 +787,15 @@ let controlled_mask sg s =
 
 (* Same count as [List.length (csc_conflicts sg)] — this is in the search
    cost function's inner loop.  Equal codes are grouped by sorting, not
-   hashing; when everything fits (codes in [62 - log2 n] bits, controlled
-   sets in 62 bits) the sort is over plain int keys [code << log2n | s]
-   and the conflict test compares bitmasks. *)
+   hashing; when everything fits (the packed code in [62 - log2 n] bits,
+   controlled sets in 62 bits) the sort keys are [code << log2n | s] —
+   built straight from the packed word, no per-state loop — and the
+   conflict test compares bitmasks. *)
 let csc_conflict_count sg =
   match sg.cache.c_csc_count with
   | Some c -> c
   | None ->
-      let nsig = Stg.n_signals sg.stg in
+      let nsig = sg.nsig in
       let log2n =
         let k = ref 0 in
         while 1 lsl !k < sg.n do
@@ -555,15 +805,7 @@ let csc_conflict_count sg =
       in
       let count = ref 0 in
       if nsig + log2n <= 62 && 3 * nsig <= 62 then begin
-        let keys =
-          Array.init sg.n (fun s ->
-              let code = sg.codes.(s) in
-              let c = ref 0 in
-              for i = 0 to nsig - 1 do
-                c := (!c lsl 1) lor (Char.code (Bytes.get code i) land 1)
-              done;
-              (!c lsl log2n) lor s)
-        in
+        let keys = Array.init sg.n (fun s -> (sg.codes.(s) lsl log2n) lor s) in
         Array.sort (fun (a : int) b -> compare a b) keys;
         let masks = Array.make sg.n (-1) in
         let mask s =
@@ -594,15 +836,11 @@ let csc_conflict_count sg =
       end
       else begin
         let idx = Array.init sg.n Fun.id in
-        Array.sort
-          (fun s1 s2 -> Bytes.compare sg.codes.(s1) sg.codes.(s2))
-          idx;
+        Array.sort (fun s1 s2 -> compare_codes sg s1 s2) idx;
         let i = ref 0 in
         while !i < sg.n do
           let j = ref (!i + 1) in
-          while
-            !j < sg.n && Bytes.equal sg.codes.(idx.(!i)) sg.codes.(idx.(!j))
-          do
+          while !j < sg.n && compare_codes sg idx.(!i) idx.(!j) = 0 do
             incr j
           done;
           if !j - !i > 1 then
@@ -619,6 +857,9 @@ let csc_conflict_count sg =
       !count
 
 let has_csc sg = csc_conflict_count sg = 0
+
+(* ------------------------------------------------------------------ *)
+(* Excitation regions and concurrency *)
 
 (* All excitation regions in one sweep: a state belongs to ER(lab) exactly
    when lab is among its enabled labels. *)
@@ -642,22 +883,21 @@ let er sg lab = try Hashtbl.find (er_table sg) lab with Not_found -> []
 
 (* Distinct labels on arcs, each with all the STG transitions carrying it.
    Every state of a [t] is reachable from [initial] by construction
-   ([of_stg] explores only reachable states, [make] prunes), so this is
-   exactly the set of reachable arc labels — reduction's vanish check. *)
+   ([Builder.build] rejects unreachable states, [filter_arcs] prunes), so
+   this is exactly the set of reachable arc labels — reduction's vanish
+   check. *)
 let arc_label_instances sg =
   match sg.cache.c_arc_labels with
   | Some l -> l
   | None ->
       let seen = Hashtbl.create 32 in
       let order = ref [] in
-      Array.iter
-        (Array.iter (fun (tr, _) ->
-             let lab = Stg.label sg.stg tr in
-             if not (Hashtbl.mem seen lab) then begin
-               Hashtbl.replace seen lab ();
-               order := lab :: !order
-             end))
-        sg.succ;
+      iter_arcs sg (fun _ tr _ ->
+          let lab = Stg.label sg.stg tr in
+          if not (Hashtbl.mem seen lab) then begin
+            Hashtbl.replace seen lab ();
+            order := lab :: !order
+          end);
       let l =
         List.rev_map (fun lab -> (lab, Stg.instances sg.stg lab)) !order
       in
@@ -684,13 +924,14 @@ let er_components sg lab =
           Queue.add s' queue
         end
       in
-      Array.iter (fun (_, s') -> visit s') sg.succ.(s);
-      Array.iter (fun (_, s') -> visit s') (pred sg).(s)
+      iter_succ sg s (fun _ s' -> visit s');
+      iter_pred sg s (fun _ s' -> visit s')
     done
   in
   List.iter (fun s -> if comp.(s) = -1 then bfs s) members;
   let buckets = Array.make !next_comp [] in
-  List.iter (fun s -> buckets.(comp.(s)) <- s :: buckets.(comp.(s)))
+  List.iter
+    (fun s -> buckets.(comp.(s)) <- s :: buckets.(comp.(s)))
     (List.rev members);
   Array.to_list (Array.map List.rev buckets)
 
@@ -699,8 +940,7 @@ let er_components sg lab =
    arcs s -a-> s1, s -b-> s2 with a <> b, the labels are concurrent when
    some s1 -b-> x and s2 -a-> x close the diamond.  The check is symmetric
    in the arc pair, so each pair is examined once; already-established
-   entries are skipped.  This replaces the per-pair whole-graph rescans of
-   the previous [concurrent] (O(labels^2 x states)). *)
+   entries are skipped. *)
 let conc_rel sg =
   match sg.cache.c_conc with
   | Some r -> r
@@ -711,23 +951,20 @@ let conc_rel sg =
       Array.iteri (fun i lab -> Hashtbl.replace conc_idx lab i) conc_labels;
       let conc_mat = Bytes.make (nlab * nlab) '\000' in
       for s = 0 to sg.n - 1 do
-        let arcs = sg.succ.(s) in
-        let deg = Array.length arcs in
-        for i = 0 to deg - 1 do
-          let tri, si = arcs.(i) in
+        let lo = sg.off.(s) and hi = sg.off.(s + 1) - 1 in
+        for i = lo to hi do
+          let tri = sg.arc_tr.(i) and si = sg.arc_dst.(i) in
           let a = Stg.label sg.stg tri in
           let ia = Hashtbl.find conc_idx a in
-          for j = i + 1 to deg - 1 do
-            let trj, sj = arcs.(j) in
+          for j = i + 1 to hi do
+            let trj = sg.arc_tr.(j) and sj = sg.arc_dst.(j) in
             let b = Stg.label sg.stg trj in
             if b <> a then begin
               let ib = Hashtbl.find conc_idx b in
               if Bytes.get conc_mat ((ia * nlab) + ib) = '\000' then begin
                 let xs = succ_by_label sg si b in
                 if
-                  List.exists
-                    (fun y -> List.mem y xs)
-                    (succ_by_label sg sj a)
+                  List.exists (fun y -> List.mem y xs) (succ_by_label sg sj a)
                 then begin
                   Bytes.set conc_mat ((ia * nlab) + ib) '\001';
                   Bytes.set conc_mat ((ib * nlab) + ia) '\001'
@@ -765,17 +1002,19 @@ let concurrent_pairs sg =
 let deadlocks sg =
   let acc = ref [] in
   for s = sg.n - 1 downto 0 do
-    if Array.length sg.succ.(s) = 0 then acc := s :: !acc
+    if out_degree sg s = 0 then acc := s :: !acc
   done;
   !acc
 
-let states sg = List.init sg.n Fun.id
+(* ------------------------------------------------------------------ *)
+(* Signature *)
 
 (* Per-transition label names and their rank in sorted-name order, shared
    by every signature computation over the same STG (reduction search
    builds thousands of SGs over one STG).  Keyed by physical equality; a
    one-entry memo suffices because a search works one STG at a time. *)
-let sig_tables_memo : (Stg.t * (string array * string array * int array)) option ref =
+let sig_tables_memo :
+    (Stg.t * (string array * string array * int array)) option ref =
   ref None
 
 let sig_tables stg =
@@ -823,8 +1062,11 @@ let compute_signature sg =
   Queue.add sg.initial queue;
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
+    let lo = sg.off.(s) in
+    let deg = sg.off.(s + 1) - lo in
     let arcs =
-      Array.map (fun (tr, s') -> (rank.(tr) * sg.n) + s') sg.succ.(s)
+      Array.init deg (fun j ->
+          (rank.(sg.arc_tr.(lo + j)) * sg.n) + sg.arc_dst.(lo + j))
     in
     (* keys are small nonnegative ints, so subtraction cannot overflow *)
     Array.sort (fun a b -> a - b) arcs;
@@ -858,7 +1100,7 @@ let signature sg =
 (* Force every shared memoized analysis the reduction search reads on a
    value that is about to be shared read-only across domains.  After this
    returns, the queries the search performs on [sg] from pool workers
-   ([er], [pred], [arc_label_instances], [is_output_persistent],
+   ([er], [iter_pred], [arc_label_instances], [is_output_persistent],
    [concurrent], [signature], [csc_conflict_count], [enabled_labels]) are
    pure reads of already-filled cache fields.  The per-state
    controlled-label memo is intentionally not forced: the search never
@@ -877,19 +1119,20 @@ let force_analyses sg =
   ignore (is_output_persistent sg);
   ignore (csc_conflict_count sg)
 
+(* ------------------------------------------------------------------ *)
+(* Output *)
+
 let pp ppf sg =
-  Format.fprintf ppf "SG: %d states, %d arcs, initial %s" sg.n
-    (Array.fold_left (fun acc a -> acc + Array.length a) 0 sg.succ)
+  Format.fprintf ppf "SG: %d states, %d arcs, initial %s" sg.n (n_arcs sg)
     (code_display sg sg.initial)
 
 let pp_full ppf sg =
   Format.fprintf ppf "@[<v>%a@," pp sg;
   for s = 0 to sg.n - 1 do
     let arcs =
-      Array.to_list sg.succ.(s)
-      |> List.map (fun (tr, s') ->
-             Printf.sprintf "%s->%d" (Stg.trans_display sg.stg tr) s')
-      |> String.concat " "
+      fold_succ sg s [] (fun acc tr s' ->
+          Printf.sprintf "%s->%d" (Stg.trans_display sg.stg tr) s' :: acc)
+      |> List.rev |> String.concat " "
     in
     Format.fprintf ppf "  s%d [%s] %s@," s (code_display sg s) arcs
   done;
@@ -903,11 +1146,11 @@ let weak_bisimilar sg1 sg2 =
   let n = n1 + n2 in
   let arcs_of i =
     if i < n1 then
-      Array.to_list sg1.succ.(i)
-      |> List.map (fun (tr, s') -> (Stg.label sg1.stg tr, sg1.stg, s'))
+      fold_succ sg1 i [] (fun acc tr s' ->
+          (Stg.label sg1.stg tr, sg1.stg, s') :: acc)
     else
-      Array.to_list sg2.succ.(i - n1)
-      |> List.map (fun (tr, s') -> (Stg.label sg2.stg tr, sg2.stg, s' + n1))
+      fold_succ sg2 (i - n1) [] (fun acc tr s' ->
+          (Stg.label sg2.stg tr, sg2.stg, s' + n1) :: acc)
   in
   let is_tau = function Stg.Dummy _ -> true | Stg.Edge _ -> false in
   let name_of stg lab = Stg.label_name stg lab in
@@ -918,9 +1161,7 @@ let weak_bisimilar sg1 sg2 =
     let rec dfs v =
       if not (Hashtbl.mem seen v) then begin
         Hashtbl.replace seen v ();
-        List.iter
-          (fun (lab, _, s') -> if is_tau lab then dfs s')
-          (arcs_of v)
+        List.iter (fun (lab, _, s') -> if is_tau lab then dfs s') (arcs_of v)
       end
     in
     dfs s;
@@ -953,7 +1194,8 @@ let weak_bisimilar sg1 sg2 =
         |> List.sort_uniq compare
       in
       let taus =
-        tau_closure.(s) |> List.map (fun v -> block.(v))
+        tau_closure.(s)
+        |> List.map (fun v -> block.(v))
         |> List.sort_uniq compare
       in
       (visible, taus)
@@ -984,11 +1226,7 @@ let to_dot sg =
       (if s = sg.initial then "doublecircle" else "circle")
       (code_display sg s)
   done;
-  for s = 0 to sg.n - 1 do
-    Array.iter
-      (fun (tr, s') ->
-        add "  s%d -> s%d [label=\"%s\"];\n" s s' (Stg.trans_display sg.stg tr))
-      sg.succ.(s)
-  done;
+  iter_arcs sg (fun s tr s' ->
+      add "  s%d -> s%d [label=\"%s\"];\n" s s' (Stg.trans_display sg.stg tr));
   add "}\n";
   Buffer.contents buf

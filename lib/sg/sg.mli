@@ -2,29 +2,18 @@
     encoding, plus the implementability analyses of the paper (Sec. 2):
     consistency, speed-independence (determinism, commutativity,
     output-persistency), Complete State Coding, excitation regions and the
-    concurrency relation. *)
+    concurrency relation.
+
+    The representation is fully abstract.  Internally all state codes live
+    in one bit-packed word vector (no per-state allocation) and the arcs in
+    compressed-sparse-row arrays (one offsets array plus parallel
+    transition/target arrays); see DESIGN.md, "Packed state-graph core".
+    Consumers read the graph through the accessors and iterators below and
+    build derived graphs through {!filter_arcs}, {!derive} or {!Builder}. *)
 
 type state = int
 
-(** Memoized analyses (enabled labels, excitation regions, the concurrency
-    relation, signature, CSC-conflict count), filled on first use.  Safe
-    because a [t] is immutable once built; see DESIGN.md. *)
-type cache
-
-type t = private {
-  stg : Stg.t;
-  n : int;  (** number of states *)
-  markings : Petri.marking array;
-  codes : Bytes.t array;
-      (** [codes.(s)] — one byte per signal, ['0'] or ['1']. *)
-  succ : (Petri.trans * state) array array;
-  initial : state;
-  unconstrained : int list;
-      (** signals whose initial value was not constrained by any +/− edge
-          and was defaulted to 0; signals pinned via [initial_values] are
-          not included *)
-  cache : cache;
-}
+type t
 
 type error =
   | Inconsistent of string  (** encoding cannot be made consistent *)
@@ -50,64 +39,68 @@ val of_stg :
   Stg.t ->
   (t, error) result
 
+(** {2 Structure accessors} *)
+
+val stg : t -> Stg.t
+val n_states : t -> int
+val initial : t -> state
+
+(** The Petri-net marking behind a state.  The returned array is shared
+    with the graph: treat it as read-only. *)
+val marking : t -> state -> Petri.marking
+
+(** States as a list in id order. *)
+val states : t -> state list
+
 (** Signals whose initial value was unconstrained at generation time (in
-    id order).  Empty for SGs built by {!make} from reduction, which
-    inherit the flag from their source unless overridden. *)
+    id order).  Empty for SGs derived by {!filter_arcs}/{!derive} unless
+    inherited from their source. *)
 val unconstrained_signals : t -> int list
 
-(** Rebuild an SG from explicit components, pruning states unreachable from
-    [initial] and renumbering.  Used by concurrency reduction;
-    [unconstrained] carries {!unconstrained_signals} over from the source
-    SG ([[]] when rebuilding from scratch). *)
-val make :
-  unconstrained:int list ->
-  stg:Stg.t ->
-  markings:Petri.marking array ->
-  codes:Bytes.t array ->
-  succ:(Petri.trans * state) list array ->
-  initial:state ->
-  t
+(** {2 Codes} *)
 
-(** Like {!make}, and also returns the new→old state map (index = new id,
-    value = id in the input state space).  Reduction's validity checks use
-    it to relate the pruned graph back to its source. *)
-val make_mapped :
-  unconstrained:int list ->
-  stg:Stg.t ->
-  markings:Petri.marking array ->
-  codes:Bytes.t array ->
-  succ:(Petri.trans * state) list array ->
-  initial:state ->
-  t * state array
+(** Value of a signal in a state (0 or 1). *)
+val value : t -> state -> int -> int
 
-(** {!make_mapped} over arc arrays: lets reduction pass the source's
-    unmodified successor rows through without a list round-trip (the input
-    arrays are not mutated or retained). *)
-val make_mapped_arcs :
-  unconstrained:int list ->
-  stg:Stg.t ->
-  markings:Petri.marking array ->
-  codes:Bytes.t array ->
-  succ:(Petri.trans * state) array array ->
-  initial:state ->
-  t * state array
-
-val n_states : t -> int
-
-(** Reverse arc index ([pred sg].(s) lists the incoming arcs of [s] as
-    [(transition, source)]), derived from [succ] on first use and cached:
-    the reduction search builds and discards many SGs that are never
-    walked backwards. *)
-val pred : t -> (Petri.trans * state) array array
-
+(** The state's binary code as a string, ['0'|'1'] per signal in id
+    order.  Allocates; prefer {!value}/{!code_bits} on hot paths. *)
 val code : t -> state -> string
+
+(** The state's code packed into one int, bit [i] = value of signal [i].
+    O(1): this is the in-memory representation.
+    @raise Invalid_argument when the STG has more than 62 signals. *)
+val code_bits : t -> state -> int
 
 (** Code with an asterisk after every excited signal, e.g. ["1*0*"] — the
     display format used in the paper's Fig. 1. *)
 val code_display : t -> state -> string
 
-(** Value of a signal in a state. *)
-val value : t -> state -> int -> int
+(** {2 Arcs} *)
+
+(** Total number of arcs. *)
+val n_arcs : t -> int
+
+val out_degree : t -> state -> int
+
+(** [iter_succ sg s f] — [f tr target] for every outgoing arc of [s], in
+    arc order. *)
+val iter_succ : t -> state -> (Petri.trans -> state -> unit) -> unit
+
+(** [fold_succ sg s init f] — fold [f acc tr target] over the outgoing
+    arcs of [s], in arc order. *)
+val fold_succ : t -> state -> 'a -> ('a -> Petri.trans -> state -> 'a) -> 'a
+
+(** [iter_arcs sg f] — [f source tr target] over every arc of the graph,
+    sources in id order, arcs of one source in arc order. *)
+val iter_arcs : t -> (state -> Petri.trans -> state -> unit) -> unit
+
+(** Reverse-arc queries, derived from the forward arcs on first use and
+    cached: the reduction search builds and discards many SGs that are
+    never walked backwards. *)
+val in_degree : t -> state -> int
+
+(** [iter_pred sg s f] — [f tr source] for every incoming arc of [s]. *)
+val iter_pred : t -> state -> (Petri.trans -> state -> unit) -> unit
 
 (** Labels on outgoing arcs of a state (deduplicated, in first-seen order). *)
 val enabled_labels : t -> state -> Stg.label list
@@ -115,6 +108,61 @@ val enabled_labels : t -> state -> Stg.label list
 (** [succ_by_label sg s lab] — all successors of [s] through arcs whose
     transition carries [lab]. *)
 val succ_by_label : t -> state -> Stg.label -> state list
+
+(** {2 Building derived graphs} *)
+
+(** [filter_arcs sg ~keep] rebuilds the graph keeping only the arcs for
+    which [keep source tr target] holds, prunes states unreachable from
+    the initial state and renumbers (BFS order).  Returns the new graph
+    with the new→old state map (index = new id).  [keep] is called once
+    per arc.  The hot path of concurrency reduction: codes and markings
+    are copied row-wise, arcs go straight into the CSR arrays. *)
+val filter_arcs :
+  t -> keep:(state -> Petri.trans -> state -> bool) -> t * state array
+
+(** [derive sg ~arcs] rebuilds the graph over the same states, codes and
+    markings with the successor rows given by [arcs] (targets in [sg]'s
+    state space), then prunes unreachable states and renumbers as
+    {!filter_arcs}.  [unconstrained] defaults to the source's.  General
+    (and slower) cousin of {!filter_arcs} for arc rewiring. *)
+val derive :
+  ?unconstrained:int list ->
+  t ->
+  arcs:(state -> (Petri.trans * state) list) ->
+  t * state array
+
+(** Imperative construction of an SG from scratch.  Used by {!of_stg} and
+    {!derive}; exposed for engines that enumerate a state space by other
+    means (e.g. a future symbolic/explicit swap).  Invariants checked at
+    {!Builder.build}: arc endpoints must be added states, the initial
+    state must be added, and every state should be reachable from the
+    initial one (unreachable states are rejected — prune with
+    {!filter_arcs} if needed). *)
+module Builder : sig
+  type sg := t
+  type t
+
+  val create : ?expect:int -> Stg.t -> t
+
+  (** [add_state b marking] — returns the new state id (dense, starting
+      at 0).  The marking array is not copied. *)
+  val add_state : t -> Petri.marking -> state
+
+  val n_states : t -> int
+
+  (** Arcs may be added in any order; rows keep per-source insertion
+      order. *)
+  val add_arc : t -> state -> Petri.trans -> state -> unit
+
+  (** [build b ~code ~initial] freezes the graph.  [code s i] is the value
+      (0/1) of signal [i] in state [s], packed at build time. *)
+  val build :
+    ?unconstrained:int list ->
+    t ->
+    code:(state -> int -> int) ->
+    initial:state ->
+    sg
+end
 
 (** {2 Implementability analyses} *)
 
@@ -189,9 +237,6 @@ val deadlocks : t -> state list
     label-bisimilar.  Used for deduplicating explored SGs during search and
     for verifying STG realizations. *)
 val signature : t -> string
-
-(** States as a list in id order. *)
-val states : t -> state list
 
 (** Force every memoized analysis the reduction search consults on a
     shared value (enabled labels, reverse index, excitation regions, the

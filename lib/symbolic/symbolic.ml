@@ -61,35 +61,65 @@ let fixpoint net =
   done;
   (man, !reach, !iterations)
 
-let analyze net =
-  let man, reach, iterations = fixpoint net in
-  {
-    reachable_count = Bdd.sat_count man ~nvars:(Petri.n_places net) reach;
-    iterations;
-    bdd_size = Bdd.size reach;
+module Space = struct
+  type t = {
+    net : Petri.t;
+    man : Bdd.man;
+    reach : Bdd.t;
+    iterations : int;
+    mutable deadlock : bool option;  (* computed on first query *)
   }
 
-let marking_reachable net m =
-  let _, reach, _ = fixpoint net in
-  let assignment = ref 0 in
-  Array.iteri (fun p k -> if k > 0 then assignment := !assignment lor (1 lsl p)) m;
-  Bdd.eval reach !assignment
+  let of_net net =
+    let man, reach, iterations = fixpoint net in
+    { net; man; reach; iterations; deadlock = None }
 
-let has_deadlock net =
-  let man, reach, _ = fixpoint net in
-  (* enabled(t) as a set over markings; deadlocked = reach /\ no transition
-     enabled *)
-  let some_enabled =
-    List.fold_left
-      (fun acc t ->
-        let en =
-          Array.fold_left
-            (fun acc p -> Bdd.conj man acc (Bdd.var man p))
-            Bdd.tru net.Petri.pre.(t)
+  let net sp = sp.net
+  let iterations sp = sp.iterations
+  let bdd_size sp = Bdd.size sp.reach
+
+  let reachable_count sp =
+    Bdd.sat_count sp.man ~nvars:(Petri.n_places sp.net) sp.reach
+
+  let result sp =
+    {
+      reachable_count = reachable_count sp;
+      iterations = sp.iterations;
+      bdd_size = bdd_size sp;
+    }
+
+  let marking_reachable sp m =
+    let assignment = ref 0 in
+    Array.iteri
+      (fun p k -> if k > 0 then assignment := !assignment lor (1 lsl p))
+      m;
+    Bdd.eval sp.reach !assignment
+
+  let has_deadlock sp =
+    match sp.deadlock with
+    | Some d -> d
+    | None ->
+        let man = sp.man and net = sp.net in
+        (* enabled(t) as a set over markings; deadlocked = reach /\ no
+           transition enabled *)
+        let some_enabled =
+          List.fold_left
+            (fun acc t ->
+              let en =
+                Array.fold_left
+                  (fun acc p -> Bdd.conj man acc (Bdd.var man p))
+                  Bdd.tru net.Petri.pre.(t)
+              in
+              Bdd.disj man acc en)
+            Bdd.fls
+            (List.init (Petri.n_trans net) Fun.id)
         in
-        Bdd.disj man acc en)
-      Bdd.fls
-      (List.init (Petri.n_trans net) Fun.id)
-  in
-  let deadlocked = Bdd.conj man reach (Bdd.neg man some_enabled) in
-  not (Bdd.is_fls deadlocked)
+        let deadlocked = Bdd.conj man sp.reach (Bdd.neg man some_enabled) in
+        let d = not (Bdd.is_fls deadlocked) in
+        sp.deadlock <- Some d;
+        d
+end
+
+let analyze net = Space.result (Space.of_net net)
+let marking_reachable net m = Space.marking_reachable (Space.of_net net) m
+let has_deadlock net = Space.has_deadlock (Space.of_net net)

@@ -26,9 +26,42 @@ type result = {
     every transition's effect on the encoded sets it actually visits). *)
 val analyze : Petri.t -> result
 
-(** Is a given marking reachable?  (Runs {!analyze} internally.) *)
+(** A computed reachable set, reusable across queries.  The BDD fixpoint —
+    the expensive part — runs once in {!Space.of_net}; every query below is
+    then a cheap traversal of the cached BDD.  Prefer this over the
+    top-level one-shot wrappers whenever more than one question is asked of
+    the same net. *)
+module Space : sig
+  type t
+
+  (** Run the fixpoint once and keep the manager, the reachable-set BDD and
+      the iteration count.  Same preconditions as {!analyze}. *)
+  val of_net : Petri.t -> t
+
+  val net : t -> Petri.t
+
+  val iterations : t -> int
+
+  val bdd_size : t -> int
+
+  (** Model count of the cached set — no fixpoint recomputation. *)
+  val reachable_count : t -> int
+
+  (** Package the cached set as a {!result}. *)
+  val result : t -> result
+
+  (** Membership test: one BDD evaluation. *)
+  val marking_reachable : t -> Petri.marking -> bool
+
+  (** Deadlock check over the cached set; the enabled-set BDD is built on
+      the first call and the verdict memoized. *)
+  val has_deadlock : t -> bool
+end
+
+(** Is a given marking reachable?  One-shot: recomputes the fixpoint.  Use
+    {!Space} to amortize it over several queries. *)
 val marking_reachable : Petri.t -> Petri.marking -> bool
 
 (** Symbolic deadlock check: some reachable marking enables no
-    transition. *)
+    transition.  One-shot: recomputes the fixpoint; see {!Space}. *)
 val has_deadlock : Petri.t -> bool

@@ -127,7 +127,7 @@ let map_cover ~nvars cover =
 let map_impl (impl : Logic.impl) =
   if Logic.conflicts impl > 0 then
     invalid_arg "Techmap.map_impl: CSC conflicts remain";
-  let nvars = Stg.n_signals impl.Logic.sg.Sg.stg in
+  let nvars = Stg.n_signals (Sg.stg impl.Logic.sg) in
   let per_driver d =
     match d with
     | Logic.Sop cover ->

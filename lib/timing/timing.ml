@@ -283,7 +283,7 @@ let table_label_delays stg = function
 type replay_firing = { lab : Stg.label; at : int; enabled_by : int }
 
 let analyze_sg ?(horizon = 100_000) ~delays sg =
-  let stg = sg.Sg.stg in
+  let stg = Sg.stg sg in
   let is_input_label = function
     | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
     | Stg.Dummy _ -> false
@@ -292,8 +292,8 @@ let analyze_sg ?(horizon = 100_000) ~delays sg =
   let pending : (Stg.label, int * int) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun lab -> Hashtbl.replace pending lab (0, -1))
-    (Sg.enabled_labels sg sg.Sg.initial);
-  let state = ref sg.Sg.initial in
+    (Sg.enabled_labels sg (Sg.initial sg));
+  let state = ref (Sg.initial sg) in
   let firings = ref [] and n_firings = ref 0 in
   let step () =
     let best = ref None in

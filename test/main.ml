@@ -17,6 +17,7 @@ let () =
       ("contract", Test_contract.suite);
       ("specs", Test_specs.suite);
       ("bdd", Test_bdd.suite);
+      ("crosscheck", Test_crosscheck.suite);
       ("techmap", Test_techmap.suite);
       ("parallel", Test_parallel.suite);
       ("roundtrip", Test_roundtrip.suite);

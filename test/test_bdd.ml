@@ -161,11 +161,20 @@ let test_symbolic_matches_explicit () =
 
 let test_symbolic_marking_reachable () =
   let net = (Specs.fig1 ()).Stg.net in
+  (* One Space handle serves every query: the fixpoint runs once. *)
+  let sp = Symbolic.Space.of_net net in
   check "initial reachable" true
-    (Symbolic.marking_reachable net (Petri.initial_marking net));
+    (Symbolic.Space.marking_reachable sp (Petri.initial_marking net));
   (* The all-places-marked marking is not reachable in a live STG. *)
   let bogus = Array.make (Petri.n_places net) 1 in
-  check "bogus unreachable" false (Symbolic.marking_reachable net bogus)
+  check "bogus unreachable" false (Symbolic.Space.marking_reachable sp bogus);
+  check "live via the same handle" false (Symbolic.Space.has_deadlock sp);
+  check "memoized deadlock verdict stable" false
+    (Symbolic.Space.has_deadlock sp);
+  Alcotest.(check int)
+    "Space.result = analyze"
+    (Symbolic.analyze net).Symbolic.reachable_count
+    (Symbolic.Space.result sp).Symbolic.reachable_count
 
 let test_symbolic_deadlock () =
   check "fig1 live" false (Symbolic.has_deadlock (Specs.fig1 ()).Stg.net);

@@ -91,7 +91,7 @@ let test_resolve_lr () =
         |> List.filter (fun s -> s.Stg.Signal.kind <> Stg.Signal.Internal)
         |> List.map (fun s -> s.Stg.Signal.name)
       in
-      check "I/O preserved" true (io r.Csc.stg = io sg.Sg.stg)
+      check "I/O preserved" true (io r.Csc.stg = io (Sg.stg sg))
   | Error msg -> Alcotest.fail msg
 
 let test_resolve_noop () =

@@ -148,7 +148,7 @@ let check_consistent stg sg =
   List.for_all
     (fun s ->
       let c = Sg.code sg s in
-      Array.for_all
+      List.for_all
         (fun (tr, s') ->
           let c' = Sg.code sg s' in
           match Stg.label stg tr with
@@ -165,7 +165,7 @@ let check_consistent stg sg =
                 | Stg.Toggle -> c.[sigid] <> c'.[sigid]
               in
               !others_fixed && dir_ok)
-        sg.Sg.succ.(s))
+        (Sg.fold_succ sg s [] (fun acc tr s' -> (tr, s') :: acc)))
     (Sg.states sg)
 
 let conc_count sg = List.length (Sg.concurrent_pairs sg)

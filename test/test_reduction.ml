@@ -15,7 +15,7 @@ let test_fwd_red_fig1 () =
       check_int "one state fewer" 4 (Sg.n_states reduced);
       check "no concurrency left" true (Sg.concurrent_pairs reduced = []);
       check "still speed-independent" true (Sg.is_speed_independent reduced);
-      check "initial preserved" true (reduced.Sg.initial = 0)
+      check "initial preserved" true (Sg.initial reduced = 0)
   | Error _ -> Alcotest.fail "reduction should be valid"
 
 let test_input_rejected () =
@@ -40,7 +40,7 @@ let test_back_reach () =
   (* Backward closure of the initial state within the whole SG is all
      states (the SG is strongly connected). *)
   check_int "full closure" (Sg.n_states sg)
-    (List.length (Reduction.back_reach sg ~within:all [ sg.Sg.initial ]));
+    (List.length (Reduction.back_reach sg ~within:all [ Sg.initial sg ]));
   (* Restricted to a singleton, only the target itself. *)
   check_int "singleton" 1
     (List.length (Reduction.back_reach sg ~within:[ 2 ] [ 2 ]))
@@ -179,9 +179,7 @@ let prop_reduction_monotone =
     (fun () ->
       let stg = Expansion.four_phase Specs.par in
       let sg = Gen.sg_exn stg in
-      let arcs g =
-        Array.fold_left (fun acc a -> acc + Array.length a) 0 g.Sg.succ
-      in
+      let arcs g = Sg.n_arcs g in
       List.for_all
         (fun (a, b) ->
           match Reduction.fwd_red sg ~a ~b with

@@ -177,7 +177,7 @@ let test_minimal_regions_marked_graph () =
   let sg = Gen.sg_exn (Gen.ring ~inputs:1 3) in
   let regions = Regions.minimal_regions sg in
   check "initial state covered" true
-    (List.exists (fun r -> List.mem sg.Sg.initial r) regions)
+    (List.exists (fun r -> List.mem (Sg.initial sg) r) regions)
 
 let suite =
   suite

@@ -63,7 +63,7 @@ let test_reduce_fully () =
   let c = Search.reduce_fully sg in
   (* Termination with no applicable reduction left. *)
   check "nothing reducible remains" true
-    (let stg = sg.Sg.stg in
+    (let stg = Sg.stg sg in
      let pairs = Sg.concurrent_pairs c.Search.sg in
      List.for_all
        (fun (a, b) ->

@@ -8,12 +8,11 @@ let fig1_sg () = Gen.sg_exn (Specs.fig1 ())
 let test_fig1_generation () =
   let sg = fig1_sg () in
   check_int "five states" 5 (Sg.n_states sg);
-  check_int "six arcs" 6
-    (Array.fold_left (fun acc a -> acc + Array.length a) 0 sg.Sg.succ);
+  check_int "six arcs" 6 (Sg.n_arcs sg);
   Alcotest.(check string) "initial code display" "10*"
-    (Sg.code_display sg sg.Sg.initial);
-  check_int "Req initially 1" 1 (Sg.value sg sg.Sg.initial 0);
-  check_int "Ack initially 0" 0 (Sg.value sg sg.Sg.initial 1)
+    (Sg.code_display sg (Sg.initial sg));
+  check_int "Req initially 1" 1 (Sg.value sg (Sg.initial sg) 0);
+  check_int "Ack initially 0" 0 (Sg.value sg (Sg.initial sg) 1)
 
 let test_fig1_properties () =
   let sg = fig1_sg () in
@@ -152,24 +151,25 @@ b- p
   let sg = Gen.sg_exn (Stg.Io.parse text) in
   check "input choice allowed" true (Sg.is_output_persistent sg)
 
-let test_make_prunes () =
+let test_filter_prunes () =
   let sg = fig1_sg () in
-  (* Drop all arcs out of state 2 except Ack-: states behind Req+ at s2
-     remain reachable through other paths; dropping Req+ from s2 keeps
-     graph connected but removes an arc. *)
-  let stg = sg.Sg.stg in
-  let succ =
-    Array.init (Sg.n_states sg) (fun s ->
-        Array.to_list sg.Sg.succ.(s)
-        |> List.filter (fun (tr, _) ->
-               not (s = 2 && Stg.label stg tr = Core.lab stg "Req+")))
-  in
-  let sg' =
-    Sg.make ~unconstrained:[] ~stg ~markings:sg.Sg.markings ~codes:sg.Sg.codes
-      ~succ ~initial:sg.Sg.initial
+  (* Drop Req+ out of state 2: the state behind it becomes unreachable and
+     must be pruned, and the surviving states renumbered from 0. *)
+  let stg = Sg.stg sg in
+  let sg', old_of_new =
+    Sg.filter_arcs sg ~keep:(fun s tr _ ->
+        not (s = 2 && Stg.label stg tr = Core.lab stg "Req+"))
   in
   check_int "one state pruned" 4 (Sg.n_states sg');
-  check "initial preserved" true (sg'.Sg.initial = 0)
+  check "initial preserved" true (Sg.initial sg' = 0);
+  check_int "map covers survivors" 4 (Array.length old_of_new);
+  check "map starts at old initial" true (old_of_new.(0) = Sg.initial sg);
+  (* Codes and markings follow the renumbering. *)
+  Array.iteri
+    (fun s_new s_old ->
+      Alcotest.(check string)
+        "code preserved" (Sg.code sg s_old) (Sg.code sg' s_new))
+    old_of_new
 
 let test_signature_canonical () =
   let sg1 = fig1_sg () in
@@ -188,11 +188,12 @@ let test_signature_canonical () =
 let test_enabled_labels () =
   let stg = Specs.fig1 () in
   let sg = Gen.sg_exn stg in
-  let labs = Sg.enabled_labels sg sg.Sg.initial in
+  let labs = Sg.enabled_labels sg (Sg.initial sg) in
   check_int "one label enabled initially" 1 (List.length labs);
   check "it is Ack+" true (List.hd labs = Core.lab stg "Ack+");
   check "succ_by_label" true
-    (List.length (Sg.succ_by_label sg sg.Sg.initial (Core.lab stg "Ack+")) = 1)
+    (List.length (Sg.succ_by_label sg (Sg.initial sg) (Core.lab stg "Ack+"))
+    = 1)
 
 (* Properties over generated families. *)
 
@@ -233,8 +234,7 @@ let prop_codes_consistent =
       let sg = Gen.sg_exn stg in
       let ok = ref true in
       for s = 0 to Sg.n_states sg - 1 do
-        Array.iter
-          (fun (tr, s') ->
+        Sg.iter_succ sg s (fun tr s' ->
             match Stg.label stg tr with
             | Stg.Edge (sigid, _) ->
                 for v = 0 to Stg.n_signals stg - 1 do
@@ -242,7 +242,6 @@ let prop_codes_consistent =
                   ok := !ok && if v = sigid then not same else same
                 done
             | Stg.Dummy _ -> ())
-          sg.Sg.succ.(s)
       done;
       !ok)
 
@@ -258,7 +257,8 @@ let suite =
     Alcotest.test_case "nondeterminism detection" `Quick test_nondeterministic_sg;
     Alcotest.test_case "persistency violation" `Quick test_persistency_violation;
     Alcotest.test_case "input choice allowed" `Quick test_input_choice_is_ok;
-    Alcotest.test_case "make prunes unreachable" `Quick test_make_prunes;
+    Alcotest.test_case "filter_arcs prunes unreachable" `Quick
+      test_filter_prunes;
     Alcotest.test_case "canonical signature" `Quick test_signature_canonical;
     Alcotest.test_case "enabled labels" `Quick test_enabled_labels;
     QCheck_alcotest.to_alcotest prop_rings_implementable;
@@ -281,23 +281,22 @@ let test_er_components_instances () =
     (List.fold_left (fun acc c -> acc + List.length c) 0 comps)
 
 let test_commutativity_negative () =
-  (* Two orders of concurrent events reaching different states: build the
-     SG by hand via Sg.make on a small artificial structure. *)
+  (* Two orders of concurrent events reaching different states: rewire the
+     SG by hand via Sg.derive on a small artificial structure. *)
   let stg = Specs.fig1 () in
   let base = Gen.sg_exn stg in
   (* Corrupt: redirect the diamond's closing arc so orders disagree.
      States: 2 -Ack--> 4 and 2 -Req+-> 3; 4 -Req+-> 0, 3 -Ack--> 0.
      Point 3's Ack- to state 1 instead: orders now differ. *)
-  let succ =
-    Array.init (Sg.n_states base) (fun s ->
-        Array.to_list base.Sg.succ.(s)
-        |> List.map (fun (tr, s') ->
-               if s = 3 && Stg.label stg tr = Core.lab stg "Ack-" then (tr, 1)
-               else (tr, s')))
-  in
-  let broken =
-    Sg.make ~unconstrained:[] ~stg ~markings:base.Sg.markings
-      ~codes:base.Sg.codes ~succ ~initial:base.Sg.initial
+  let broken, _ =
+    Sg.derive base ~arcs:(fun s ->
+        Sg.fold_succ base s [] (fun acc tr s' ->
+            let s' =
+              if s = 3 && Stg.label stg tr = Core.lab stg "Ack-" then 1
+              else s'
+            in
+            (tr, s') :: acc)
+        |> List.rev)
   in
   check "not commutative" false (Sg.is_commutative broken)
 
@@ -360,15 +359,15 @@ let test_concurrency_matches_naive () =
   in
   List.iter
     (fun (name, sg) ->
-      let labels = Stg.all_labels sg.Sg.stg in
+      let labels = Stg.all_labels (Sg.stg sg) in
       List.iter
         (fun a ->
           List.iter
             (fun b ->
               check
                 (Printf.sprintf "%s: %s || %s" name
-                   (Stg.label_name sg.Sg.stg a)
-                   (Stg.label_name sg.Sg.stg b))
+                   (Stg.label_name (Sg.stg sg) a)
+                   (Stg.label_name (Sg.stg sg) b))
                 (naive_concurrent sg a b) (Sg.concurrent sg a b))
             labels)
         labels)
@@ -408,8 +407,8 @@ let test_unconstrained_initial_values () =
           (fun i -> String.length m >= i + 1 && m.[i] = 'b')
           (List.init (String.length m) Fun.id)
     | _ -> false);
-  check_int "defaulted a" 0 (Sg.value sg sg.Sg.initial 0);
-  check_int "defaulted b" 0 (Sg.value sg sg.Sg.initial 1)
+  check_int "defaulted a" 0 (Sg.value sg (Sg.initial sg) 0);
+  check_int "defaulted b" 0 (Sg.value sg (Sg.initial sg) 1)
 
 let test_initial_values_override () =
   let stg = toggle_ring () in
@@ -424,7 +423,7 @@ let test_initial_values_override () =
     | Ok sg -> sg
     | Error e -> Alcotest.failf "of_stg: %a" Sg.pp_error e
   in
-  check_int "pinned b initially 1" 1 (Sg.value sg sg.Sg.initial 1);
+  check_int "pinned b initially 1" 1 (Sg.value sg (Sg.initial sg) 1);
   Alcotest.(check (list int))
     "pinned signal no longer unconstrained" [ 0 ]
     (Sg.unconstrained_signals sg);
@@ -439,7 +438,7 @@ let test_initial_values_conflict () =
   | Ok _ -> Alcotest.fail "conflicting override accepted"
   | Error e -> Alcotest.failf "wrong error: %a" Sg.pp_error e);
   (match Sg.of_stg ~initial_values:[ ("Req", 1) ] stg with
-  | Ok sg -> check_int "consistent override kept" 1 (Sg.value sg sg.Sg.initial 0)
+  | Ok sg -> check_int "consistent override kept" 1 (Sg.value sg (Sg.initial sg) 0)
   | Error e -> Alcotest.failf "consistent override rejected: %a" Sg.pp_error e);
   Alcotest.check_raises "unknown signal"
     (Invalid_argument "Sg.of_stg: unknown signal zz in initial_values")
