@@ -990,6 +990,157 @@ let json_pr2 out_file =
       close_out oc;
       Printf.printf "wrote %s\n" out_file)
 
+(* --json-pr4: incremental, memoized logic-cost evaluation.
+
+   Times Search.optimize on LR/PAR/MMU in its default [`Delta] evaluation
+   mode against the search timings recorded in BENCH_PR3.json (the same
+   kernels at the same parameters, costed from scratch), plus a
+   three-way mode comparison (scratch / memo / delta) and the cache
+   effectiveness counters: {!Boolf.Memo} hit rate and {!Logic}
+   delta-reuse fraction over one fresh search per spec.  [--smoke] runs
+   one timing pass for CI; [--annotate] emits non-failing GitHub
+   workflow warnings when a kernel regresses against the baseline. *)
+
+(* [new_ns] of BENCH_PR3.json: the search kernels measured at PR 3
+   (commit 17fa0ac, packed SG + from-scratch logic estimate) on the
+   machine that produced that file, with the same [time_ns] estimator. *)
+let pr4_baseline_ns : (string * float) list =
+  [
+    ("search_optimize_lr", 174360.);
+    ("search_optimize_par", 3658692.);
+    ("search_optimize_mmu", 32230854.);
+  ]
+
+let json_pr4 ~smoke ~annotate out_file =
+  let lr_sg = Core.sg_exn (Expansion.four_phase Specs.lr) in
+  let par_sg = Core.sg_exn (Expansion.four_phase Specs.par) in
+  let mmu_sg = Core.sg_exn (Expansion.four_phase Specs.mmu) in
+  let specs =
+    [
+      ("search_optimize_lr", lr_sg, 6);
+      ("search_optimize_par", par_sg, 4);
+      ("search_optimize_mmu", mmu_sg, 4);
+    ]
+  in
+  let passes = if smoke then 1 else 3 in
+  let measure label mode =
+    let res = ref (List.map (fun (n, _, _) -> (n, infinity)) specs) in
+    for pass = 1 to passes do
+      res :=
+        List.map2
+          (fun (name, sg, width) (_, best) ->
+            let ns =
+              time_ns (fun () ->
+                  ignore
+                    (Search.optimize ~w:0.8 ~size_frontier:width
+                       ~eval_mode:mode sg))
+            in
+            Printf.eprintf "pass %d %-8s %-24s %14.0f ns/run\n%!" pass label
+              name ns;
+            (name, Float.min best ns))
+          specs !res
+    done;
+    !res
+  in
+  let delta_ns = measure "delta" `Delta in
+  let memo_ns = measure "memo" `Memo in
+  let scratch_ns = measure "scratch" `Scratch in
+  (* Cache effectiveness over ONE fresh search per spec: cleared cover
+     cache, zeroed counters, sequential run (every minimization happens in
+     this domain). *)
+  let counters =
+    List.map
+      (fun (name, sg, width) ->
+        Boolf.Memo.clear ();
+        Boolf.Memo.reset_stats ();
+        Logic.reset_delta_stats ();
+        ignore
+          (Search.optimize ~w:0.8 ~size_frontier:width ~eval_mode:`Delta sg);
+        let m = Boolf.Memo.stats () in
+        let d = Logic.delta_stats () in
+        Printf.eprintf
+          "stats   %-24s cover %d/%d hits, delta %d/%d inherited\n%!" name
+          m.Boolf.Memo.hits
+          (m.Boolf.Memo.hits + m.Boolf.Memo.misses)
+          d.Logic.inherited
+          (d.Logic.inherited + d.Logic.recomputed);
+        (name, m, d))
+      specs
+  in
+  if annotate then
+    List.iter
+      (fun (name, old_ns) ->
+        match List.assoc_opt name delta_ns with
+        | Some new_ns when new_ns > old_ns *. 1.15 ->
+            Printf.printf
+              "::warning title=bench regression::%s: %.0f ns/run vs %.0f \
+               ns/run PR3 baseline (%.2fx slower)\n"
+              name new_ns old_ns (new_ns /. old_ns)
+        | Some _ | None -> ())
+      pr4_baseline_ns;
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"bench\": \"BENCH_PR4\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add
+    "  \"baseline_commit\": \"17fa0ac (PR 3: packed SG, from-scratch logic \
+     estimate)\",\n";
+  let emit_obj ?(fmt = format_of_string "%.0f") ?(last = false) key entries =
+    add "  \"%s\": {\n" key;
+    List.iteri
+      (fun i (name, v) ->
+        add
+          ("    \"%s\": " ^^ fmt ^^ "%s\n")
+          name v
+          (if i = List.length entries - 1 then "" else ","))
+      entries;
+    add "  }%s\n" (if last then "" else ",")
+  in
+  emit_obj "old_ns" pr4_baseline_ns;
+  emit_obj "new_ns" delta_ns;
+  emit_obj "memo_ns" memo_ns;
+  emit_obj "scratch_ns" scratch_ns;
+  let ratio olds news =
+    List.filter_map
+      (fun (name, o) ->
+        match List.assoc_opt name news with
+        | Some n when n > 0.0 -> Some (name, o /. n)
+        | Some _ | None -> None)
+      olds
+  in
+  emit_obj ~fmt:"%.2f" "speedup" (ratio pr4_baseline_ns delta_ns);
+  emit_obj ~fmt:"%.2f" "speedup_vs_scratch" (ratio scratch_ns delta_ns);
+  add "  \"cover_cache\": {\n";
+  List.iteri
+    (fun i (name, m, _) ->
+      let total = m.Boolf.Memo.hits + m.Boolf.Memo.misses in
+      add
+        "    \"%s\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f }%s\n"
+        name m.Boolf.Memo.hits m.Boolf.Memo.misses
+        (if total = 0 then 0.0
+         else float_of_int m.Boolf.Memo.hits /. float_of_int total)
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  add "  },\n";
+  add "  \"delta_reuse\": {\n";
+  List.iteri
+    (fun i (name, _, d) ->
+      let total = d.Logic.inherited + d.Logic.recomputed in
+      add
+        "    \"%s\": { \"inherited\": %d, \"recomputed\": %d, \"fraction\": \
+         %.3f }%s\n"
+        name d.Logic.inherited d.Logic.recomputed
+        (if total = 0 then 0.0
+         else float_of_int d.Logic.inherited /. float_of_int total)
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  add "  }\n}\n";
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file
+
 (* ------------------------------------------------------------------ *)
 
 let sections =
@@ -1029,6 +1180,21 @@ let () =
     in
     strip args
   in
+  if List.mem "--json-pr4" args then begin
+    let smoke = List.mem "--smoke" args in
+    let annotate = List.mem "--annotate" args in
+    let out =
+      match
+        List.filter
+          (fun a -> a <> "--json-pr4" && a <> "--smoke" && a <> "--annotate")
+          args
+      with
+      | [ f ] -> f
+      | _ -> "BENCH_PR4.json"
+    in
+    json_pr4 ~smoke ~annotate out;
+    exit 0
+  end;
   if List.mem "--json-pr3" args || List.mem "--smoke" args then begin
     let smoke = List.mem "--smoke" args in
     let out =

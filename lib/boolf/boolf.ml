@@ -203,6 +203,80 @@ let minimize ~n ~on ~off =
             end)
           on_arr
   done;
-  List.sort Cube.compare !chosen
+  (* Irredundancy: greedy set cover can leave a cube whose ON minterms are
+     all covered by cubes chosen later (their overlap, not their gain).
+     Scan in canonical cube order and drop any cube every ON minterm of
+     which is covered by the rest of the (current) cover. *)
+  let chosen = List.sort Cube.compare !chosen in
+  let rec drop_redundant kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let others m =
+          List.exists (fun c' -> Cube.covers c' m) kept
+          || List.exists (fun c' -> Cube.covers c' m) rest
+        in
+        let redundant =
+          Array.for_all (fun m -> (not (Cube.covers c m)) || others m) on_arr
+        in
+        if redundant then drop_redundant kept rest
+        else drop_redundant (c :: kept) rest
+  in
+  drop_redundant [] chosen
 
 let estimate_literals ~n ~on ~off = Cover.literals (minimize ~n ~on ~off)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-candidate memoization of [minimize].
+
+   The reduction search minimizes the same (n, ON, OFF) subproblem many
+   times: sibling candidates leave most signals' sets untouched, and the
+   set/reset networks of a generalized C-element share codes.  The cache
+   key is the canonical form of the inputs (sorted, deduplicated minterm
+   lists) — [minimize] is invariant under permutation and duplication of
+   its inputs, so a hit returns exactly what the call would have computed.
+
+   Tables live in {!Pool.Dls} domain-local storage: each search worker
+   domain fills its own table, so there is no locking and no shared
+   mutation, and because [minimize] is deterministic every domain converges
+   to the same entries — the [Pool.map_array] determinism contract
+   (pure up to commutative-and-idempotent memoization) is preserved.
+   Hit/miss counters are process-global [Atomic]s: they are monitoring
+   only and never influence results. *)
+module Memo = struct
+  type entry = { cover : Cover.t; lits : int }
+
+  let hit_count = Atomic.make 0
+  let miss_count = Atomic.make 0
+
+  let tables : (int * int list * int list, entry) Hashtbl.t Pool.Dls.key =
+    Pool.Dls.new_key (fun () -> Hashtbl.create 1024)
+
+  let lookup ~n ~on ~off =
+    let on = List.sort_uniq Int.compare on
+    and off = List.sort_uniq Int.compare off in
+    let key = (n, on, off) in
+    let tbl = Pool.Dls.get tables in
+    match Hashtbl.find_opt tbl key with
+    | Some e ->
+        Atomic.incr hit_count;
+        e
+    | None ->
+        Atomic.incr miss_count;
+        let cover = minimize ~n ~on ~off in
+        let e = { cover; lits = Cover.literals cover } in
+        Hashtbl.add tbl key e;
+        e
+
+  let minimize ~n ~on ~off = (lookup ~n ~on ~off).cover
+  let literals ~n ~on ~off = (lookup ~n ~on ~off).lits
+
+  type stats = { hits : int; misses : int }
+
+  let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+
+  let reset_stats () =
+    Atomic.set hit_count 0;
+    Atomic.set miss_count 0
+
+  let clear () = Hashtbl.reset (Pool.Dls.get tables)
+end

@@ -17,83 +17,163 @@ type impl = { sg : Sg.t; style : style; per_signal : signal_impl list }
 (* The packed code IS the minterm (bit i = value of signal i). *)
 let minterm_of_code sg s = Sg.code_bits sg s
 
-(* Is an edge of [sigid] enabled in state [s]? *)
+(* Is an edge of [sigid] enabled in state [s]?  Early-exit row scan. *)
 let excited sg s sigid =
-  Sg.fold_succ sg s false (fun acc tr _ ->
-      acc
-      ||
+  Sg.exists_succ sg s (fun tr _ ->
       match Stg.label (Sg.stg sg) tr with
       | Stg.Edge (sid, _) -> sid = sigid
       | Stg.Dummy _ -> false)
 
-(* Next value of signal [sigid] in state [s]: current value flipped when an
-   edge of the signal is enabled. *)
-let next_value sg s sigid =
-  let v = Sg.value sg s sigid in
-  if excited sg s sigid then 1 - v else v
+(* ------------------------------------------------------------------ *)
+(* One-sweep extraction.
 
-let on_off_sets sg sigid =
-  let tbl = Hashtbl.create 64 in
-  for s = 0 to Sg.n_states sg - 1 do
-    let m = minterm_of_code sg s in
-    let nv = next_value sg s sigid in
-    let prev = try Hashtbl.find tbl m with Not_found -> (false, false) in
-    let has0, has1 = prev in
-    Hashtbl.replace tbl m (has0 || nv = 0, has1 || nv = 1)
+   Every per-signal derivation (ON/OFF sets, GC set/reset networks) is a
+   per-code aggregate of per-state excitation.  Instead of one successor
+   sweep per signal per state, a single CSR pass computes, for every state
+   at once, the bitmask of signals with an enabled edge; a second pass
+   folds those masks per distinct code.  All later per-signal questions are
+   answered by bit tests against two masks per code:
+
+     exc_any — OR  over the code's states of the excited mask
+     exc_all — AND over the code's states of the excited mask
+
+   For signal [k] with value [v] (bit [k] of the code), next-value 1 is
+   possible iff some state leaves [k] at 1: [v = 1 && exc_all_k = 0] or
+   [v = 0 && exc_any_k = 1]; symmetrically for next-value 0.  ER(k+)
+   membership is [v = 0 && exc_any_k = 1], stable-0 is
+   [v = 0 && exc_all_k = 0], etc. *)
+
+type extraction = {
+  x_codes : int array;  (** distinct state codes, ascending *)
+  x_any : int array;  (** per code: OR of excited-signal masks *)
+  x_all : int array;  (** per code: AND of excited-signal masks *)
+}
+
+(* One CSR pass: the excited-signal bitmask of every state. *)
+let excited_masks sg =
+  let stg = Sg.stg sg in
+  let nst = Sg.n_states sg in
+  let exc = Array.make nst 0 in
+  for s = 0 to nst - 1 do
+    Sg.iter_succ sg s (fun tr _ ->
+        match Stg.label stg tr with
+        | Stg.Edge (sid, _) -> exc.(s) <- exc.(s) lor (1 lsl sid)
+        | Stg.Dummy _ -> ())
   done;
+  exc
+
+let extract sg =
+  let nsig = Stg.n_signals (Sg.stg sg) in
+  let nst = Sg.n_states sg in
+  let exc = excited_masks sg in
+  if nsig <= 16 then begin
+    (* Direct-address tables over the code space, as in the previous
+       [estimate] fast path. *)
+    let size = 1 lsl nsig in
+    let any = Array.make size 0 and all = Array.make size 0 in
+    let seen = Bytes.make size '\000' in
+    let tmp = Array.make (max nst 1) 0 in
+    let k = ref 0 in
+    for s = 0 to nst - 1 do
+      let m = minterm_of_code sg s in
+      if Bytes.get seen m = '\000' then begin
+        Bytes.set seen m '\001';
+        tmp.(!k) <- m;
+        incr k;
+        any.(m) <- exc.(s);
+        all.(m) <- exc.(s)
+      end
+      else begin
+        any.(m) <- any.(m) lor exc.(s);
+        all.(m) <- all.(m) land exc.(s)
+      end
+    done;
+    let codes = Array.sub tmp 0 !k in
+    Array.sort Int.compare codes;
+    {
+      x_codes = codes;
+      x_any = Array.map (fun m -> any.(m)) codes;
+      x_all = Array.map (fun m -> all.(m)) codes;
+    }
+  end
+  else begin
+    let idx = Hashtbl.create (2 * max 1 nst) in
+    let cs = Array.make (max nst 1) 0 in
+    let any = Array.make (max nst 1) 0 and all = Array.make (max nst 1) 0 in
+    let k = ref 0 in
+    for s = 0 to nst - 1 do
+      let m = minterm_of_code sg s in
+      match Hashtbl.find_opt idx m with
+      | Some i ->
+          any.(i) <- any.(i) lor exc.(s);
+          all.(i) <- all.(i) land exc.(s)
+      | None ->
+          let i = !k in
+          Hashtbl.add idx m i;
+          cs.(i) <- m;
+          any.(i) <- exc.(s);
+          all.(i) <- exc.(s);
+          incr k
+    done;
+    let order = Array.init !k Fun.id in
+    Array.sort (fun i j -> Int.compare cs.(i) cs.(j)) order;
+    {
+      x_codes = Array.map (fun i -> cs.(i)) order;
+      x_any = Array.map (fun i -> any.(i)) order;
+      x_all = Array.map (fun i -> all.(i)) order;
+    }
+  end
+
+(* ON/OFF sets (and conflict count) of one signal from an extraction.
+   Lists come out ascending because [x_codes] is. *)
+let sop_sets x sigid =
   let on = ref [] and off = ref [] and conflicts = ref 0 in
-  Hashtbl.iter
-    (fun m (has0, has1) ->
-      if has0 && has1 then incr conflicts
-      else if has1 then on := m :: !on
-      else off := m :: !off)
-    tbl;
-  (List.sort compare !on, List.sort compare !off, !conflicts)
+  for i = Array.length x.x_codes - 1 downto 0 do
+    let m = x.x_codes.(i) in
+    let v = (m lsr sigid) land 1 in
+    let any = (x.x_any.(i) lsr sigid) land 1 in
+    let all = (x.x_all.(i) lsr sigid) land 1 in
+    let has1 = if v = 1 then all = 0 else any = 1 in
+    let has0 = if v = 1 then any = 1 else all = 0 in
+    if has0 && has1 then incr conflicts
+    else if has1 then on := m :: !on
+    else off := m :: !off
+  done;
+  (!on, !off, !conflicts)
+
+let on_off_sets sg sigid = sop_sets (extract sg) sigid
 
 (* Set/reset networks for the generalized C-element:
    S: ON over ER(a+), OFF over stable-0 states and ER(a-);
    R: ON over ER(a-), OFF over stable-1 states and ER(a+).
    Conflicting codes (same code, both excited-to-rise and stable-0, etc.)
    are dropped from both and counted. *)
-let gc_sets sg sigid =
-  let tbl = Hashtbl.create 64 in
-  (* per code: (in ER(a+), in ER(a-), stable0, stable1) *)
-  for s = 0 to Sg.n_states sg - 1 do
-    let m = minterm_of_code sg s in
-    let v = Sg.value sg s sigid and exc = excited sg s sigid in
-    let er_plus, er_minus, st0, st1 =
-      try Hashtbl.find tbl m with Not_found -> (false, false, false, false)
-    in
-    let entry =
-      if exc && v = 0 then (true, er_minus, st0, st1)
-      else if exc && v = 1 then (er_plus, true, st0, st1)
-      else if v = 0 then (er_plus, er_minus, true, st1)
-      else (er_plus, er_minus, st0, true)
-    in
-    Hashtbl.replace tbl m entry
-  done;
+let gc_sets_x x sigid =
   let s_on = ref [] and s_off = ref [] in
   let r_on = ref [] and r_off = ref [] in
   let conflicts = ref 0 in
-  Hashtbl.iter
-    (fun m (er_plus, er_minus, st0, st1) ->
-      (* A code is conflicting when it requires contradictory behaviour of
-         either network. *)
-      let s_conflict = er_plus && (st0 || er_minus) in
-      let r_conflict = er_minus && (st1 || er_plus) in
-      if s_conflict || r_conflict then incr conflicts
-      else begin
-        if er_plus then s_on := m :: !s_on
-        else if st0 || er_minus then s_off := m :: !s_off;
-        if er_minus then r_on := m :: !r_on
-        else if st1 || er_plus then r_off := m :: !r_off
-      end)
-    tbl;
-  ( List.sort compare !s_on,
-    List.sort compare !s_off,
-    List.sort compare !r_on,
-    List.sort compare !r_off,
-    !conflicts )
+  for i = Array.length x.x_codes - 1 downto 0 do
+    let m = x.x_codes.(i) in
+    let v = (m lsr sigid) land 1 in
+    let any = (x.x_any.(i) lsr sigid) land 1 in
+    let all = (x.x_all.(i) lsr sigid) land 1 in
+    let er_plus = v = 0 && any = 1 in
+    let er_minus = v = 1 && any = 1 in
+    let st0 = v = 0 && all = 0 in
+    let st1 = v = 1 && all = 0 in
+    (* A code is conflicting when it requires contradictory behaviour of
+       either network. *)
+    let s_conflict = er_plus && (st0 || er_minus) in
+    let r_conflict = er_minus && (st1 || er_plus) in
+    if s_conflict || r_conflict then incr conflicts
+    else begin
+      if er_plus then s_on := m :: !s_on
+      else if st0 || er_minus then s_off := m :: !s_off;
+      if er_minus then r_on := m :: !r_on
+      else if st1 || er_plus then r_off := m :: !r_off
+    end
+  done;
+  (!s_on, !s_off, !r_on, !r_off, !conflicts)
 
 let wire_like nsig sigid cover =
   match cover with
@@ -105,9 +185,9 @@ let wire_like nsig sigid cover =
            (List.init nsig Fun.id)
   | [] | _ :: _ :: _ -> false
 
-let synthesize_signal_sop sg sigid =
+let synthesize_signal_sop x sg sigid =
   let nsig = Stg.n_signals (Sg.stg sg) in
-  let on, off, conflict_codes = on_off_sets sg sigid in
+  let on, off, conflict_codes = sop_sets x sigid in
   let cover = Boolf.minimize ~n:nsig ~on ~off in
   let is_constant = on = [] || off = [] in
   {
@@ -118,9 +198,9 @@ let synthesize_signal_sop sg sigid =
     is_constant;
   }
 
-let synthesize_signal_gc sg sigid =
+let synthesize_signal_gc x sg sigid =
   let nsig = Stg.n_signals (Sg.stg sg) in
-  let s_on, s_off, r_on, r_off, conflict_codes = gc_sets sg sigid in
+  let s_on, s_off, r_on, r_off, conflict_codes = gc_sets_x x sigid in
   let set = Boolf.minimize ~n:nsig ~on:s_on ~off:s_off in
   let reset = Boolf.minimize ~n:nsig ~on:r_on ~off:r_off in
   {
@@ -138,86 +218,155 @@ let non_input_signals sg =
     (List.init nsig Fun.id)
 
 let synthesize ?(style = `Complex_gate) sg =
+  let x = extract sg in
   let per_signal =
     match style with
-    | `Complex_gate -> List.map (synthesize_signal_sop sg) (non_input_signals sg)
-    | `Generalized_c -> List.map (synthesize_signal_gc sg) (non_input_signals sg)
+    | `Complex_gate ->
+        List.map (synthesize_signal_sop x sg) (non_input_signals sg)
+    | `Generalized_c ->
+        List.map (synthesize_signal_gc x sg) (non_input_signals sg)
   in
   { sg; style; per_signal }
 
-(* [estimate] is evaluated once per explored configuration of the reduction
-   search, so it avoids the generic [on_off_sets]: state minterms and
-   per-state excited-signal bitmasks are computed once per call instead of
-   once per signal, and the per-code next-value aggregation runs over
-   direct-address byte tables (2^nsig entries) instead of a [Hashtbl].  The
-   ON/OFF/conflict sets are identical to [on_off_sets]'s. *)
-let estimate_fast conflict_penalty sg =
-  let stg = Sg.stg sg in
-  let nsig = Stg.n_signals stg in
-  let nst = Sg.n_states sg in
-  let mint = Array.make nst 0 and exc = Array.make nst 0 in
-  for s = 0 to nst - 1 do
-    mint.(s) <- minterm_of_code sg s;
-    Sg.iter_succ sg s (fun tr _ ->
-        match Stg.label stg tr with
-        | Stg.Edge (sid, _) -> exc.(s) <- exc.(s) lor (1 lsl sid)
-        | Stg.Dummy _ -> ())
-  done;
-  let size = 1 lsl nsig in
-  let has0 = Bytes.make size '\000' and has1 = Bytes.make size '\000' in
-  (* distinct minterms, ascending, so ON/OFF lists come out sorted *)
-  let touched =
-    let seen = Bytes.make size '\000' in
-    let tmp = Array.make nst 0 and k = ref 0 in
-    for s = 0 to nst - 1 do
-      let m = mint.(s) in
-      if Bytes.get seen m = '\000' then begin
-        Bytes.set seen m '\001';
-        tmp.(!k) <- m;
-        incr k
-      end
-    done;
-    let t = Array.sub tmp 0 !k in
-    Array.sort Int.compare t;
-    t
+(* ------------------------------------------------------------------ *)
+(* Cost evaluation.
+
+   [evaluate] keeps, per non-input signal, the ON/OFF sets it minimized and
+   the resulting cover/literal count, so a derived SG can be costed
+   incrementally ([estimate_delta]) and repeated subproblems served from
+   the {!Boolf.Memo} cover cache. *)
+
+type per_sig = {
+  ps_signal : int;
+  ps_on : int list;
+  ps_off : int list;
+  ps_conflicts : int;
+  ps_cover : Boolf.Cover.t;
+  ps_literals : int;
+}
+
+type eval = { e_total : int; e_penalty : int; e_sigs : per_sig list }
+
+let total e = e.e_total
+
+let eval_of_sigs ~penalty sigs =
+  let t =
+    List.fold_left
+      (fun acc ps -> acc + ps.ps_literals + (penalty * ps.ps_conflicts))
+      0 sigs
   in
-  let cost_of sigid =
-    Array.iter
-      (fun m ->
-        Bytes.set has0 m '\000';
-        Bytes.set has1 m '\000')
-      touched;
-    let bit = 1 lsl sigid in
-    for s = 0 to nst - 1 do
-      let m = mint.(s) in
-      let v = m land bit <> 0 in
-      let nv = if exc.(s) land bit <> 0 then not v else v in
-      if nv then Bytes.set has1 m '\001' else Bytes.set has0 m '\001'
-    done;
-    let on = ref [] and off = ref [] and conflicts = ref 0 in
-    for i = Array.length touched - 1 downto 0 do
-      let m = touched.(i) in
-      let h0 = Bytes.get has0 m <> '\000' and h1 = Bytes.get has1 m <> '\000' in
-      if h0 && h1 then incr conflicts
-      else if h1 then on := m :: !on
-      else off := m :: !off
-    done;
-    Boolf.estimate_literals ~n:nsig ~on:!on ~off:!off
-    + (conflict_penalty * !conflicts)
+  { e_total = t; e_penalty = penalty; e_sigs = sigs }
+
+let eval_signal ~memo ~nsig sigid (on, off, conflicts) =
+  let cover =
+    if memo then Boolf.Memo.minimize ~n:nsig ~on ~off
+    else Boolf.minimize ~n:nsig ~on ~off
   in
-  List.fold_left (fun acc sigid -> acc + cost_of sigid) 0 (non_input_signals sg)
+  {
+    ps_signal = sigid;
+    ps_on = on;
+    ps_off = off;
+    ps_conflicts = conflicts;
+    ps_cover = cover;
+    ps_literals = Boolf.Cover.literals cover;
+  }
+
+let evaluate ?(conflict_penalty = 4) ?(memo = true) sg =
+  let nsig = Stg.n_signals (Sg.stg sg) in
+  let x = extract sg in
+  let sigs =
+    List.map
+      (fun sigid -> eval_signal ~memo ~nsig sigid (sop_sets x sigid))
+      (non_input_signals sg)
+  in
+  eval_of_sigs ~penalty:conflict_penalty sigs
 
 let estimate ?(conflict_penalty = 4) sg =
-  if Stg.n_signals (Sg.stg sg) <= 16 then estimate_fast conflict_penalty sg
-  else
-    let cost_of sigid =
-      let on, off, conflicts = on_off_sets sg sigid in
-      let nsig = Stg.n_signals (Sg.stg sg) in
-      Boolf.estimate_literals ~n:nsig ~on ~off + (conflict_penalty * conflicts)
-    in
-    List.fold_left
-      (fun acc sigid -> acc + cost_of sigid)
-      0 (non_input_signals sg)
+  (evaluate ~conflict_penalty ~memo:false sg).e_total
+
+(* Delta-reuse accounting (process-global, all domains combined). *)
+let delta_inherited = Atomic.make 0
+let delta_recomputed = Atomic.make 0
+
+type delta_stats = { inherited : int; recomputed : int }
+
+let delta_stats () =
+  { inherited = Atomic.get delta_inherited; recomputed = Atomic.get delta_recomputed }
+
+let reset_delta_stats () =
+  Atomic.set delta_inherited 0;
+  Atomic.set delta_recomputed 0
+
+(* Incremental evaluation of an SG built by an arc filter from [parent]'s
+   SG ({!Sg.filter_arcs_delta} via {!Reduction.fwd_red_built}).
+
+   Soundness of the reuse (see DESIGN.md, "Incremental logic cost"):
+
+   - [delta.pruned = 0]: every parent state survived with its code, and the
+     only arcs removed carry the [dropped] label.  Per-state excitation is
+     unchanged for every signal other than [dropped]'s, so the per-code
+     (code, next-value) aggregation — hence the ON/OFF sets and conflict
+     count — of those signals is bit-for-bit the parent's: inherit their
+     covers blindly and re-derive only [dropped]'s signal (no signal at
+     all when [dropped] is a dummy).
+
+   - [delta.pruned > 0]: a vanished code enlarges the don't-care set of
+     EVERY signal (and can flip a conflict classification), so no signal
+     may be inherited blindly.  The cheap one-sweep extraction re-derives
+     every signal's (ON, OFF, conflicts); a signal whose triple equals the
+     parent's inherits the parent's cover (valid because [Boolf.minimize]
+     is a deterministic function of the triple), the rest go through the
+     memoized minimizer. *)
+let estimate_delta ~parent ~dropped ~delta sg =
+  let nsig = Stg.n_signals (Sg.stg sg) in
+  let inherited = ref 0 and recomputed = ref 0 in
+  let result =
+    if delta.Sg.pruned = 0 then
+      match dropped with
+      | Stg.Dummy _ ->
+          inherited := List.length parent.e_sigs;
+          parent
+      | Stg.Edge (sid, _) ->
+          let sigs =
+            List.map
+              (fun ps ->
+                if ps.ps_signal <> sid then begin
+                  incr inherited;
+                  ps
+                end
+                else begin
+                  incr recomputed;
+                  eval_signal ~memo:true ~nsig sid (on_off_sets sg sid)
+                end)
+              parent.e_sigs
+          in
+          eval_of_sigs ~penalty:parent.e_penalty sigs
+    else begin
+      let x = extract sg in
+      let sigs =
+        List.map
+          (fun ps ->
+            let ((on, off, conflicts) as sets) = sop_sets x ps.ps_signal in
+            if
+              conflicts = ps.ps_conflicts && on = ps.ps_on && off = ps.ps_off
+            then begin
+              incr inherited;
+              ps
+            end
+            else begin
+              incr recomputed;
+              eval_signal ~memo:true ~nsig ps.ps_signal sets
+            end)
+          parent.e_sigs
+      in
+      eval_of_sigs ~penalty:parent.e_penalty sigs
+    end
+  in
+  if !inherited > 0 then
+    ignore (Atomic.fetch_and_add delta_inherited !inherited);
+  if !recomputed > 0 then
+    ignore (Atomic.fetch_and_add delta_recomputed !recomputed);
+  result
 
 let gate_cost_2input = 16
 let gate_cost_inverter = 8

@@ -47,13 +47,79 @@ type impl = {
     [style] defaults to [`Complex_gate]. *)
 val synthesize : ?style:style -> Sg.t -> impl
 
+(** [excited sg s sigid] — is an edge of signal [sigid] enabled in state
+    [s]?  Early-exit scan of the state's successor row. *)
+val excited : Sg.t -> Sg.state -> int -> bool
+
 (** {2 Cost estimation for the optimizer} *)
 
 (** [estimate sg] — the heuristic logic-complexity measure: total literal
     count of the minimized complex-gate covers plus [conflict_penalty] per
     conflicting code (default 4 literals, so unresolved CSC is never
-    free). *)
+    free).  Always computed from scratch with the unmemoized minimizer —
+    the reference the incremental paths below are tested against. *)
 val estimate : ?conflict_penalty:int -> Sg.t -> int
+
+(** {2 Incremental evaluation}
+
+    The reduction search costs thousands of derived SGs that differ from
+    their parent in a handful of arcs.  [evaluate] returns, besides the
+    total, the per-signal ON/OFF sets and minimized covers, so the cost of
+    a derived SG can be computed by {!estimate_delta} reusing every signal
+    whose sets provably did not change; repeated minimizations are served
+    from the {!Boolf.Memo} cover cache.  All three paths (scratch, memoized,
+    delta) produce identical totals and per-signal covers — see DESIGN.md,
+    "Incremental logic cost". *)
+
+(** Evaluation of one non-input signal: the complex-gate minimization input
+    (ON/OFF sets as sorted code lists, conflicting-code count) and its
+    result. *)
+type per_sig = {
+  ps_signal : int;
+  ps_on : int list;
+  ps_off : int list;
+  ps_conflicts : int;
+  ps_cover : Boolf.Cover.t;
+  ps_literals : int;
+}
+
+type eval = {
+  e_total : int;  (** {!estimate}'s value: literals + penalty·conflicts *)
+  e_penalty : int;  (** the [conflict_penalty] the total was computed with *)
+  e_sigs : per_sig list;  (** per non-input signal, in signal-id order *)
+}
+
+val total : eval -> int
+
+(** Full evaluation of [sg].  [memo] (default true) routes minimizations
+    through {!Boolf.Memo}; the result is identical either way.
+    [evaluate sg |> total = estimate sg] always. *)
+val evaluate : ?conflict_penalty:int -> ?memo:bool -> Sg.t -> eval
+
+(** [estimate_delta ~parent ~dropped ~delta sg] — evaluate [sg], an SG
+    built from [parent]'s graph by an arc filter that removed only arcs
+    labelled [dropped] (as {!Reduction.fwd_red_built} does), reusing
+    [parent]'s per-signal results wherever sound:
+
+    - when [delta.pruned = 0], every signal except [dropped]'s is inherited
+      without looking at [sg] (state set, codes and non-[dropped]
+      excitation are unchanged);
+    - when states were pruned, every signal's sets are re-derived by the
+      one-sweep extraction (cheap) and the parent's {e cover} is inherited
+      exactly when the (ON, OFF, conflicts) triple is unchanged.
+
+    Uses [parent]'s conflict penalty.  Equal to [evaluate sg] field by
+    field. *)
+val estimate_delta :
+  parent:eval -> dropped:Stg.label -> delta:Sg.delta -> Sg.t -> eval
+
+(** Process-global counters of per-signal delta decisions: [inherited]
+    signals reused the parent's cover, [recomputed] went through the
+    (memoized) minimizer. *)
+type delta_stats = { inherited : int; recomputed : int }
+
+val delta_stats : unit -> delta_stats
+val reset_delta_stats : unit -> unit
 
 (** {2 Gate-level area}
 

@@ -129,3 +129,15 @@ let shutdown t =
   Mutex.unlock t.m;
   List.iter Domain.join t.domains;
   t.domains <- []
+
+(* Domain-local storage: each domain (the caller and every worker) gets its
+   own instance, created on first access.  Memo tables stored this way are
+   filled independently per domain, so no locking is needed and — provided
+   the memoized function is deterministic — every domain computes the same
+   values, preserving the [map_array] determinism contract. *)
+module Dls = struct
+  type 'a key = 'a Domain.DLS.key
+
+  let new_key f = Domain.DLS.new_key f
+  let get k = Domain.DLS.get k
+end

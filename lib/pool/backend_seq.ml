@@ -19,3 +19,12 @@ let shutdown _ = ()
 (* Silence the unused-field warning; [requested] exists so that the two
    backends have structurally similar creation paths. *)
 let _ = fun t -> t.requested
+
+(* "Domain-local" storage on the sequential backend: there is only one
+   domain, so a lazily created single instance has the same semantics. *)
+module Dls = struct
+  type 'a key = 'a Lazy.t
+
+  let new_key f = lazy (f ())
+  let get k = Lazy.force k
+end

@@ -51,3 +51,23 @@ val shutdown : t -> unit
 
 (** [with_pool ~jobs f] — {!create}, run [f], always {!shutdown}. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** Domain-local storage with a sequential fallback: on the domains backend
+    this is [Domain.DLS] (one instance per domain, created on first
+    access), on the sequential backend a single lazily created instance.
+
+    This is the supported way to give a memo table to code that runs inside
+    {!map_array} workers: each domain fills its own copy, so there is no
+    locking and no cross-domain mutation.  The {!map_array} determinism
+    contract is preserved as long as the memoized computation is
+    deterministic — every domain's table converges to the same entries. *)
+module Dls : sig
+  type 'a key
+
+  (** [new_key f] — a new slot whose per-domain initial value is [f ()]. *)
+  val new_key : (unit -> 'a) -> 'a key
+
+  (** The calling domain's instance, created with the key's initializer on
+      first access. *)
+  val get : 'a key -> 'a
+end

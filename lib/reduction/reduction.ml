@@ -50,6 +50,8 @@ let trans_with_label stg a =
   List.iter (fun tr -> tbl.(tr) <- true) (Stg.instances stg a);
   tbl
 
+type built = { cand : Sg.t; old_of_new : Sg.state array; delta : Sg.delta }
+
 (* Def. 5.1 validity checks over an already-pruned candidate
    ({!Sg.filter_arcs} prunes unreachable states in one BFS): the
    reachable label set can only shrink under arc removal, so vanishing is
@@ -57,7 +59,7 @@ let trans_with_label stg a =
    and a new deadlock is a reduced state with no successors whose source
    state had some.  Kept separate from the build so the search can dedup
    candidates by signature before paying for the checks. *)
-let validate ~source (reduced, old_of_new) =
+let validate ~source { cand = reduced; old_of_new; delta = _ } =
   (* Transitions still firing somewhere in the pruned graph: a plain sweep
      ([Petri.trans] is a dense int), no hashing. *)
   let seen_tr = Array.make (Petri.n_trans (Sg.stg source).Stg.net) false in
@@ -108,9 +110,11 @@ let fwd_red_built sg ~a ~b =
         let removed_set = Array.make (Sg.n_states sg) false in
         List.iter (fun s -> removed_set.(s) <- true) removed;
         let is_a = trans_with_label stg a in
-        Ok
-          (Sg.filter_arcs sg ~keep:(fun s tr _ ->
-               not (removed_set.(s) && is_a.(tr))))
+        let cand, old_of_new, delta =
+          Sg.filter_arcs_delta sg ~keep:(fun s tr _ ->
+              not (removed_set.(s) && is_a.(tr)))
+        in
+        Ok { cand; old_of_new; delta }
       end
     end
 
@@ -129,8 +133,10 @@ let remove_arc sg ~state ~a =
     Error Not_concurrent
   else begin
     let is_a = trans_with_label stg a in
-    validate ~source:sg
-      (Sg.filter_arcs sg ~keep:(fun s tr _ -> not (s = state && is_a.(tr))))
+    let cand, old_of_new, delta =
+      Sg.filter_arcs_delta sg ~keep:(fun s tr _ -> not (s = state && is_a.(tr)))
+    in
+    validate ~source:sg { cand; old_of_new; delta }
   end
 
 let creates_arc sg ~a ~b =
@@ -163,9 +169,7 @@ let first_fired sg ~a ~b =
     let seen = Array.make (Sg.n_states sg) false in
     let rec dfs s =
       seen.(s) <- true;
-      Sg.fold_succ sg s false (fun acc tr s' ->
-          acc
-          ||
+      Sg.exists_succ sg s (fun tr s' ->
           let lab = Stg.label (Sg.stg sg) tr in
           if lab = target then true
           else if lab = other then false

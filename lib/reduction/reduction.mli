@@ -25,22 +25,23 @@ val pp_invalid : Stg.t -> Format.formatter -> invalid_reason -> unit
     reduction is invalid.  The input SG is not modified. *)
 val fwd_red : Sg.t -> a:Stg.label -> b:Stg.label -> (Sg.t, invalid_reason) result
 
+(** A built-but-unvalidated candidate: the pruned SG, its new→old state
+    map, and the {!Sg.delta} report of what the arc filter changed — the
+    incremental logic estimator ({!Logic.estimate_delta}) uses [delta] to
+    bound which signals must be re-derived. *)
+type built = { cand : Sg.t; old_of_new : Sg.state array; delta : Sg.delta }
+
 (** The build half of {!fwd_red}: remove the arcs and prune, but skip the
-    Def. 5.1 validity checks.  Returns the candidate with its new→old
-    state map; {!validate} completes the pipeline.  The search uses the
-    split to discard signature-duplicate candidates before paying for
-    validation. *)
+    Def. 5.1 validity checks; {!validate} completes the pipeline.  The
+    search uses the split to discard signature-duplicate candidates before
+    paying for validation. *)
 val fwd_red_built :
-  Sg.t ->
-  a:Stg.label ->
-  b:Stg.label ->
-  (Sg.t * Sg.state array, invalid_reason) result
+  Sg.t -> a:Stg.label -> b:Stg.label -> (built, invalid_reason) result
 
 (** The checks half of {!fwd_red}: event vanishing, introduced deadlocks
     and output-persistency of a candidate built by {!fwd_red_built} from
     [source]. *)
-val validate :
-  source:Sg.t -> Sg.t * Sg.state array -> (Sg.t, invalid_reason) result
+val validate : source:Sg.t -> built -> (Sg.t, invalid_reason) result
 
 (** The more general reduction of the paper's Sec. 6 note (backward
     reduction, ref. [3]): remove the arcs of event [a] leaving one single

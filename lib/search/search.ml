@@ -4,6 +4,7 @@ type config = {
   cost : float;
   logic_estimate : int;
   csc_pairs : int;
+  logic : Logic.eval;
 }
 
 type outcome = {
@@ -17,57 +18,71 @@ type outcome = {
 
 type keep = (Stg.label * Stg.label) list
 
-let evaluate ?(w = 0.5) ?(csc_weight = 8.0) sg =
-  let logic_estimate = Logic.estimate sg in
+type eval_mode = [ `Scratch | `Memo | `Delta ]
+
+(* Price an already-computed logic evaluation: the cost function of Sec. 7
+   over [Logic.total] and the CSC-conflict count. *)
+let price ~w ~csc_weight logic sg applied =
+  let logic_estimate = Logic.total logic in
   let csc_pairs = Sg.csc_conflict_count sg in
   let cost =
     (w *. float_of_int logic_estimate)
     +. ((1.0 -. w) *. csc_weight *. float_of_int csc_pairs)
   in
-  { sg; applied = []; cost; logic_estimate; csc_pairs }
+  { sg; applied; cost; logic_estimate; csc_pairs; logic }
+
+let evaluate ?(w = 0.5) ?(csc_weight = 8.0) ?(memo = false) sg =
+  price ~w ~csc_weight (Logic.evaluate ~memo sg) sg []
 
 let in_keep keep a b =
   List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) keep
 
-(* Candidate reductions from one SG: FwdRed(e2, e1) for every concurrent
-   pair with e2 not an input, (e1,e2) not protected.  [skip], given the
-   built-but-unvalidated candidate, says it is already known (the search
-   passes its signature dedup): a skipped candidate is dropped without
-   paying for the Def. 5.1 validity checks.  Sound because checks are a
-   deterministic function of (source, candidate) — a candidate can only
-   be "seen" if an identical one was already processed. *)
+let is_input stg lab =
+  match lab with
+  | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
+  | Stg.Dummy _ -> false
+
+(* A reduction of one pair can indirectly destroy the concurrency of a
+   protected pair; enforce Keep_Conc on the result, not just on the pair
+   being reduced. *)
+let keeps_protected keep_conc sg' =
+  List.for_all (fun (x, y) -> Sg.concurrent sg' x y) keep_conc
+
+(* The oriented candidate reductions FwdRed(a, b) of one SG, in the
+   deterministic enumeration order every consumer relies on: concurrent
+   pairs in [Sg.concurrent_pairs] order, orientation (a, b) before (b, a);
+   inputs (never delayable) and Keep_Conc-protected pairs excluded.
+   Shared by [neighbours] and [optimize] so the two paths cannot drift. *)
+let oriented_candidates ~keep_conc sg =
+  let stg = Sg.stg sg in
+  List.concat_map
+    (fun (a, b) ->
+      if in_keep keep_conc a b then []
+      else
+        (if is_input stg a then [] else [ (a, b) ])
+        @ if is_input stg b then [] else [ (b, a) ])
+    (Sg.concurrent_pairs sg)
+
+(* Candidate reductions from one SG: FwdRed(a, b) for every oriented
+   candidate.  [skip], given the built-but-unvalidated candidate SG, says
+   it is already known (the search passes its signature dedup): a skipped
+   candidate is dropped without paying for the Def. 5.1 validity checks.
+   Sound because checks are a deterministic function of (source,
+   candidate) — a candidate can only be "seen" if an identical one was
+   already processed. *)
 let neighbours ?(keep_conc = []) ?(skip = fun _ -> false) cfg =
   let sg = cfg.sg in
-  let stg = Sg.stg sg in
-  let pairs = Sg.concurrent_pairs sg in
-  let is_input lab =
-    match lab with
-    | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
-    | Stg.Dummy _ -> false
+  let try_one acc (a, b) =
+    match Reduction.fwd_red_built sg ~a ~b with
+    | Error _ -> acc
+    | Ok built -> (
+        if skip built.Reduction.cand then acc
+        else
+          match Reduction.validate ~source:sg built with
+          | Ok sg' when keeps_protected keep_conc sg' -> (sg', (a, b)) :: acc
+          | Ok _ | Error _ -> acc)
   in
-  (* A reduction of one pair can indirectly destroy the concurrency of a
-     protected pair; enforce Keep_Conc on the result, not just on the pair
-     being reduced. *)
-  let keeps_protected sg' =
-    List.for_all (fun (x, y) -> Sg.concurrent sg' x y) keep_conc
-  in
-  let try_one acc a b =
-    if is_input a then acc
-    else
-      match Reduction.fwd_red_built sg ~a ~b with
-      | Error _ -> acc
-      | Ok ((cand, _) as built) -> (
-          if skip cand then acc
-          else
-            match Reduction.validate ~source:sg built with
-            | Ok sg' when keeps_protected sg' -> (sg', (a, b)) :: acc
-            | Ok _ | Error _ -> acc)
-  in
-  let try_red acc (a, b) =
-    if in_keep keep_conc a b then acc
-    else try_one (try_one acc a b) b a
-  in
-  List.fold_left try_red [] pairs
+  List.fold_left try_one [] (oriented_candidates ~keep_conc sg)
 
 (* Worker-side verdict on one candidate task.  [Cand] with [cfg = None]
    marks a candidate that passed Def. 5.1 but failed the performance bound:
@@ -78,7 +93,8 @@ type verdict =
   | Cand of { signature : string; cfg : config option }
 
 let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
-    ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle sg0 =
+    ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle
+    ?(eval_mode = `Delta) sg0 =
   (* Performance constraint: when both [perf_delays] and [max_cycle] are
      given, a configuration only survives if the timed replay of its SG has
      a critical cycle within the bound (reduction can only lengthen the
@@ -93,12 +109,28 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   in
   (* During the search, [applied] holds the reduction script in REVERSE
      order (cons instead of O(n) append per step); it is put back in
-     application order when the outcome is materialized. *)
-  let eval sg applied_rev =
-    let c = evaluate ~w ~csc_weight sg in
-    { c with applied = applied_rev }
+     application order when the outcome is materialized.
+
+     Logic cost by [eval_mode] — all three produce identical evaluations
+     (same totals, same per-signal covers), differing only in work:
+     [`Scratch] re-derives and re-minimizes everything, [`Memo] serves
+     repeated minimizations from the {!Boolf.Memo} cover cache, [`Delta]
+     additionally inherits from the parent the signals the reduction
+     provably left unchanged ({!Logic.estimate_delta}). *)
+  let eval_child parent ~a ~delta sg' applied_rev =
+    let logic =
+      match eval_mode with
+      | `Scratch -> Logic.evaluate ~memo:false sg'
+      | `Memo -> Logic.evaluate ~memo:true sg'
+      | `Delta -> Logic.estimate_delta ~parent:parent.logic ~dropped:a ~delta sg'
+    in
+    price ~w ~csc_weight logic sg' applied_rev
   in
-  let initial = eval sg0 [] in
+  let initial =
+    price ~w ~csc_weight
+      (Logic.evaluate ~memo:(eval_mode <> `Scratch) sg0)
+      sg0 []
+  in
   let seen = Hashtbl.create 64 in
   Hashtbl.replace seen (Sg.signature sg0) ();
   let explored = ref 1 in
@@ -107,18 +139,6 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   let levels = ref 0 in
   let fanout = ref [] in
   let parallel = match pool with Some p -> Pool.jobs p > 1 | None -> false in
-  let stg = Sg.stg sg0 in
-  let is_input lab =
-    match lab with
-    | Stg.Edge (sigid, _) -> Stg.Signal.is_input (Stg.signal stg sigid)
-    | Stg.Dummy _ -> false
-  in
-  (* A reduction of one pair can indirectly destroy the concurrency of a
-     protected pair; enforce Keep_Conc on the result, not just on the pair
-     being reduced. *)
-  let keeps_protected sg' =
-    List.for_all (fun (x, y) -> Sg.concurrent sg' x y) keep_conc
-  in
   (* Evaluate one candidate FwdRed(a, b) of [cfg]: build, dedup by
      signature against [seen], validate (Def. 5.1), price.  During a
      parallel level [seen] is a frozen snapshot (merge writes happen only
@@ -128,14 +148,17 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   let eval_task (cfg, a, b) =
     match Reduction.fwd_red_built cfg.sg ~a ~b with
     | Error _ -> Dropped
-    | Ok ((cand, _) as built) -> (
-        let key = Sg.signature cand in
+    | Ok built -> (
+        let key = Sg.signature built.Reduction.cand in
         if Hashtbl.mem seen key then Dropped
         else
           match Reduction.validate ~source:cfg.sg built with
-          | Ok sg' when keeps_protected sg' ->
+          | Ok sg' when keeps_protected keep_conc sg' ->
               let cfg' =
-                if meets_perf sg' then Some (eval sg' ((a, b) :: cfg.applied))
+                if meets_perf sg' then
+                  Some
+                    (eval_child cfg ~a ~delta:built.Reduction.delta sg'
+                       ((a, b) :: cfg.applied))
                 else None
               in
               Cand { signature = key; cfg = cfg' }
@@ -144,22 +167,18 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   while !frontier <> [] && !levels < max_levels do
     incr levels;
     (* Deterministic task enumeration: frontier configurations in rank
-       order, concurrent pairs in [Sg.concurrent_pairs] order, orientation
-       (a, b) before (b, a).  The merge below processes verdicts in exactly
-       this order, so parallel and sequential runs are byte-identical. *)
+       order, then [oriented_candidates] order.  The merge below processes
+       verdicts in exactly this order, so parallel and sequential runs are
+       byte-identical. *)
     let tasks =
       List.concat_map
         (fun cfg ->
           (* Freeze the shared caches of a parent before its candidates fan
              out across domains; workers then only read them. *)
           if parallel then Sg.force_analyses cfg.sg;
-          List.concat_map
-            (fun (a, b) ->
-              if in_keep keep_conc a b then []
-              else
-                (if is_input a then [] else [ (cfg, a, b) ])
-                @ if is_input b then [] else [ (cfg, b, a) ])
-            (Sg.concurrent_pairs cfg.sg))
+          List.map
+            (fun (a, b) -> (cfg, a, b))
+            (oriented_candidates ~keep_conc cfg.sg))
         !frontier
       |> Array.of_list
     in
@@ -231,7 +250,11 @@ let reduce_fully ?(w = 0.5) ?(keep_conc = []) sg0 =
         let best =
           List.fold_left
             (fun acc (sg', step) ->
-              let c = { (evaluate ~w sg') with applied = step :: cfg.applied } in
+              let c =
+                { (evaluate ~w ~memo:true sg') with
+                  applied = step :: cfg.applied
+                }
+              in
               match acc with
               | None -> Some c
               | Some b -> if c.cost < b.cost then Some c else acc)
@@ -239,5 +262,5 @@ let reduce_fully ?(w = 0.5) ?(keep_conc = []) sg0 =
         in
         (match best with None -> cfg | Some b -> loop b)
   in
-  let final = loop { (evaluate ~w sg0) with applied = [] } in
+  let final = loop { (evaluate ~w ~memo:true sg0) with applied = [] } in
   { final with applied = List.rev final.applied }

@@ -14,6 +14,10 @@ type config = {
   cost : float;
   logic_estimate : int;
   csc_pairs : int;
+  logic : Logic.eval;
+      (** the full logic evaluation behind [logic_estimate] — the parent
+          input of {!Logic.estimate_delta} when the search derives this
+          configuration's children *)
 }
 
 type outcome = {
@@ -35,6 +39,19 @@ type outcome = {
 (** Pairs of labels whose concurrency must be preserved (the designer's
     [Keep_Conc] input).  Pairs are unordered. *)
 type keep = (Stg.label * Stg.label) list
+
+(** How candidate configurations are logic-costed.  All three modes produce
+    byte-identical outcomes (same totals, covers, frontier and script);
+    they differ only in work per candidate:
+
+    - [`Scratch] — full re-derivation and unmemoized minimization (the
+      reference);
+    - [`Memo] — full re-derivation, minimizations served from the
+      {!Boolf.Memo} cover cache;
+    - [`Delta] (default) — {!Logic.estimate_delta}: per-signal results
+      inherited from the parent configuration wherever the reduction
+      provably left them unchanged, the rest memoized. *)
+type eval_mode = [ `Scratch | `Memo | `Delta ]
 
 (** [optimize ?pool ?w ?size_frontier ?keep_conc ?max_levels sg] runs the
     search.  [w] (default 0.5) trades logic complexity ([w -> 1]) against
@@ -64,11 +81,14 @@ val optimize :
   ?csc_weight:float ->
   ?perf_delays:(Stg.label -> int) ->
   ?max_cycle:int ->
+  ?eval_mode:eval_mode ->
   Sg.t ->
   outcome
 
-(** Evaluate one SG with the search's cost function. *)
-val evaluate : ?w:float -> ?csc_weight:float -> Sg.t -> config
+(** Evaluate one SG with the search's cost function.  [memo] (default
+    false) routes the logic minimizations through {!Boolf.Memo}; the
+    result is identical either way. *)
+val evaluate : ?w:float -> ?csc_weight:float -> ?memo:bool -> Sg.t -> config
 
 (** Apply a fixed reduction script [(a, b), ...] in order, skipping invalid
     steps; returns the final SG and the steps that actually applied.  Used

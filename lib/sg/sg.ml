@@ -18,11 +18,23 @@ type conc_rel = {
   conc_mat : Bytes.t;  (** row-major nlab x nlab, ['\001'] = concurrent *)
 }
 
+(* Bitmask view of the enabled-label relation, for the per-candidate
+   validity checks in the search inner loop.  Each distinct label of the
+   graph gets one bit: [em_state.(s)] is the enabled set of state [s],
+   [em_ctl] the controlled (output/internal) labels, [em_tr.(tr)] the bit
+   index of transition [tr]'s label (only meaningful for transitions that
+   appear on some arc).  Only available when the graph has at most
+   [bits_per_word - 1] distinct labels; callers fall back to the plain
+   label-array scans otherwise. *)
+type enmask = { em_state : int array; em_ctl : int; em_tr : int array }
+
 type cache = {
   mutable c_pred : (int array * int array * int array) option;
       (** reverse CSR (p_off, p_tr, p_src), derived from the forward arcs
           on first backward walk *)
   mutable c_enabled : Stg.label array array option;
+  mutable c_enmask : enmask option option;
+      (** [Some None] = computed, too many labels for the packed path *)
   mutable c_controlled : Stg.label list option array option;
       (** per-state memo, filled lazily: only USC-conflicting states are
           ever asked for their controlled labels *)
@@ -38,6 +50,7 @@ let fresh_cache () =
   {
     c_pred = None;
     c_enabled = None;
+    c_enmask = None;
     c_controlled = None;
     c_ers = None;
     c_conc = None;
@@ -91,6 +104,13 @@ let fold_succ sg s init f =
     acc := f !acc sg.arc_tr.(k) sg.arc_dst.(k)
   done;
   !acc
+
+let exists_succ sg s f =
+  let last = sg.off.(s + 1) in
+  let rec go k =
+    k < last && (f sg.arc_tr.(k) sg.arc_dst.(k) || go (k + 1))
+  in
+  go sg.off.(s)
 
 let iter_arcs sg f =
   for s = 0 to sg.n - 1 do
@@ -476,12 +496,14 @@ let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
     | exception Inconsistency msg -> Error (Inconsistent msg)
   end
 
+type delta = { rows_changed : state array; pruned : int }
+
 (* Rebuild keeping only the arcs [keep] accepts, pruning states no longer
    reachable from the initial state and renumbering in BFS order.  This is
    the hot path of the reduction search (one call per candidate): [keep]
    runs once per arc, codes and markings are copied row-wise, arcs go
    straight into the new CSR arrays — no per-state allocation. *)
-let filter_arcs sg ~keep =
+let filter_arcs_delta sg ~keep =
   let n_old = sg.n in
   let m_old = n_arcs sg in
   let kept = Bytes.make m_old '\000' in
@@ -513,14 +535,30 @@ let filter_arcs sg ~keep =
   let n = !count in
   let old_of_new = if n = n_old then old_of_new else Array.sub old_of_new 0 n in
   let noff = Array.make (n + 1) 0 in
-  for s_new = 0 to n - 1 do
+  (* Codes are copied verbatim below, so a surviving state differs from its
+     source state exactly when its successor row lost an arc. *)
+  let changed = ref [] and n_changed = ref 0 in
+  for s_new = n - 1 downto 0 do
     let s = old_of_new.(s_new) in
     let c = ref 0 in
     for k = sg.off.(s) to sg.off.(s + 1) - 1 do
       if Bytes.get kept k = '\001' then incr c
     done;
-    noff.(s_new + 1) <- !c
+    noff.(s_new + 1) <- !c;
+    if !c < sg.off.(s + 1) - sg.off.(s) then begin
+      changed := s_new :: !changed;
+      incr n_changed
+    end
   done;
+  let delta =
+    {
+      rows_changed =
+        (let a = Array.make !n_changed 0 in
+         List.iteri (fun i s -> a.(i) <- s) !changed;
+         a);
+      pruned = n_old - n;
+    }
+  in
   for i = 1 to n do
     noff.(i) <- noff.(i) + noff.(i - 1)
   done;
@@ -553,7 +591,12 @@ let filter_arcs sg ~keep =
       initial = 0;
       cache = fresh_cache ();
     },
-    old_of_new )
+    old_of_new,
+    delta )
+
+let filter_arcs sg ~keep =
+  let sg', old_of_new, _ = filter_arcs_delta sg ~keep in
+  (sg', old_of_new)
 
 (* General arc rewiring over the same state space: materialize the given
    rows into a temporary CSR sharing the codes/markings, then let
@@ -637,6 +680,59 @@ let label_is_controlled stg lab =
   | Stg.Edge (sigid, _) -> not (Stg.Signal.is_input (Stg.signal stg sigid))
   | Stg.Dummy _ -> false
 
+(* One pass over the arcs: number the distinct labels, record each
+   transition's label bit, OR the bits into per-state enabled masks.
+   Deduplication is free (OR is idempotent), so this is much cheaper than
+   [enabled_arrays] and is what the hot validity checks read. *)
+let enmask sg =
+  match sg.cache.c_enmask with
+  | Some e -> e
+  | None ->
+      let em_tr = Array.make (max 1 (Petri.n_trans sg.stg.Stg.net)) (-1) in
+      let idx = Hashtbl.create 16 in
+      let next = ref 0 in
+      let overflow = ref false in
+      (try
+         Array.iter
+           (fun tr ->
+             if em_tr.(tr) < 0 then begin
+               let lab = Stg.label sg.stg tr in
+               let i =
+                 match Hashtbl.find_opt idx lab with
+                 | Some i -> i
+                 | None ->
+                     let i = !next in
+                     if i >= bits_per_word - 1 then raise Exit;
+                     Hashtbl.add idx lab i;
+                     incr next;
+                     i
+               in
+               em_tr.(tr) <- i
+             end)
+           sg.arc_tr
+       with Exit -> overflow := true);
+      let e =
+        if !overflow then None
+        else begin
+          let em_state = Array.make sg.n 0 in
+          for s = 0 to sg.n - 1 do
+            let m = ref 0 in
+            for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+              m := !m lor (1 lsl em_tr.(sg.arc_tr.(k)))
+            done;
+            em_state.(s) <- !m
+          done;
+          let ctl = ref 0 in
+          Hashtbl.iter
+            (fun lab i ->
+              if label_is_controlled sg.stg lab then ctl := !ctl lor (1 lsl i))
+            idx;
+          Some { em_state; em_ctl = !ctl; em_tr }
+        end
+      in
+      sg.cache.c_enmask <- Some e;
+      e
+
 let persistency_violations sg =
   let enabled = enabled_arrays sg in
   let viols = ref [] in
@@ -665,25 +761,63 @@ let persistency_violations sg =
 exception Found_violation of (state * Stg.label * Stg.label)
 
 let first_persistency_violation sg =
-  let enabled = enabled_arrays sg in
-  try
-    for s = 0 to sg.n - 1 do
-      let here = enabled.(s) in
-      iter_succ sg s (fun tr s' ->
-          let by = Stg.label sg.stg tr in
-          let there = enabled.(s') in
-          Array.iter
-            (fun lab ->
-              if
-                lab <> by
-                && (not (Array.mem lab there))
-                && (label_is_controlled sg.stg lab
-                   || label_is_controlled sg.stg by)
-              then raise (Found_violation (s, lab, by)))
-            here)
-    done;
-    None
-  with Found_violation v -> Some v
+  (* Replays the plain scan on one arc known to hold a violation, so the
+     reported triple is exactly what [persistency_violations] lists
+     first: labels in enabled-array order. *)
+  let scan_arc s s' by =
+    let enabled = enabled_arrays sg in
+    let there = enabled.(s') in
+    Array.iter
+      (fun lab ->
+        if
+          lab <> by
+          && (not (Array.mem lab there))
+          && (label_is_controlled sg.stg lab || label_is_controlled sg.stg by)
+        then raise (Found_violation (s, lab, by)))
+      enabled.(s)
+  in
+  match enmask sg with
+  | Some em -> (
+      let masks = em.em_state in
+      try
+        for s = 0 to sg.n - 1 do
+          let here = masks.(s) in
+          for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+            let byb = 1 lsl em.em_tr.(sg.arc_tr.(k)) in
+            let missing =
+              here land lnot masks.(sg.arc_dst.(k)) land lnot byb
+            in
+            (* a label enabled here but not after firing [by], where the
+               pair qualifies: [by] controlled, or the label itself is *)
+            if
+              missing <> 0
+              && (em.em_ctl land byb <> 0 || missing land em.em_ctl <> 0)
+            then
+              scan_arc s sg.arc_dst.(k) (Stg.label sg.stg sg.arc_tr.(k))
+          done
+        done;
+        None
+      with Found_violation v -> Some v)
+  | None -> (
+      let enabled = enabled_arrays sg in
+      try
+        for s = 0 to sg.n - 1 do
+          let here = enabled.(s) in
+          iter_succ sg s (fun tr s' ->
+              let by = Stg.label sg.stg tr in
+              let there = enabled.(s') in
+              Array.iter
+                (fun lab ->
+                  if
+                    lab <> by
+                    && (not (Array.mem lab there))
+                    && (label_is_controlled sg.stg lab
+                       || label_is_controlled sg.stg by)
+                  then raise (Found_violation (s, lab, by)))
+                here)
+        done;
+        None
+      with Found_violation v -> Some v)
 
 (* Memoized: reduction re-asks this of the unchanged source SG for every
    candidate that breaks persistency (Prop. 6.1 only applies to
@@ -804,17 +938,25 @@ let csc_conflict_count sg =
         !k
       in
       let count = ref 0 in
-      if nsig + log2n <= 62 && 3 * nsig <= 62 then begin
+      let em = enmask sg in
+      if nsig + log2n <= 62 && (em <> None || 3 * nsig <= 62) then begin
         let keys = Array.init sg.n (fun s -> (sg.codes.(s) lsl log2n) lor s) in
         Array.sort (fun (a : int) b -> compare a b) keys;
-        let masks = Array.make sg.n (-1) in
-        let mask s =
-          if masks.(s) >= 0 then masks.(s)
-          else begin
-            let m = controlled_mask sg s in
-            masks.(s) <- m;
-            m
-          end
+        let mask =
+          (* Only set equality matters, so any injective packing of the
+             controlled enabled set works: the precomputed label bitmasks
+             when available, the per-signal packing otherwise. *)
+          match em with
+          | Some em -> fun s -> em.em_state.(s) land em.em_ctl
+          | None ->
+              let masks = Array.make sg.n (-1) in
+              fun s ->
+                if masks.(s) >= 0 then masks.(s)
+                else begin
+                  let m = controlled_mask sg s in
+                  masks.(s) <- m;
+                  m
+                end
         in
         let lim = (1 lsl log2n) - 1 in
         let i = ref 0 in
@@ -1056,35 +1198,54 @@ let compute_signature sg =
     Buffer.add_char buf (Char.chr (Char.code '0' + (i mod 10)))
   in
   let remap = Array.make sg.n (-1) in
-  let queue = Queue.create () in
+  (* Flat-array BFS ring plus one reusable arc-key scratch: every reachable
+     state enters the queue exactly once, and out-degrees are tiny, so an
+     insertion sort into the scratch beats allocating and Array.sort-ing a
+     fresh key array per state. *)
+  let queue = Array.make sg.n 0 in
+  let qhead = ref 0 and qtail = ref 1 in
   remap.(sg.initial) <- 0;
+  queue.(0) <- sg.initial;
   let count = ref 1 in
-  Queue.add sg.initial queue;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
+  let maxdeg = ref 0 in
+  for s = 0 to sg.n - 1 do
+    let d = sg.off.(s + 1) - sg.off.(s) in
+    if d > !maxdeg then maxdeg := d
+  done;
+  let arcs = Array.make (max 1 !maxdeg) 0 in
+  while !qhead < !qtail do
+    let s = queue.(!qhead) in
+    incr qhead;
     let lo = sg.off.(s) in
     let deg = sg.off.(s + 1) - lo in
-    let arcs =
-      Array.init deg (fun j ->
-          (rank.(sg.arc_tr.(lo + j)) * sg.n) + sg.arc_dst.(lo + j))
-    in
-    (* keys are small nonnegative ints, so subtraction cannot overflow *)
-    Array.sort (fun a b -> a - b) arcs;
-    let emit key =
+    for j = 0 to deg - 1 do
+      (* sorting these keys ascending equals sorting (name, old target)
+         pairs: rank order is lexicographic name order, equal names share
+         a rank *)
+      let key = (rank.(sg.arc_tr.(lo + j)) * sg.n) + sg.arc_dst.(lo + j) in
+      let i = ref (j - 1) in
+      while !i >= 0 && arcs.(!i) > key do
+        arcs.(!i + 1) <- arcs.(!i);
+        decr i
+      done;
+      arcs.(!i + 1) <- key
+    done;
+    add_int remap.(s);
+    Buffer.add_char buf ':';
+    for j = 0 to deg - 1 do
+      let key = arcs.(j) in
       let s' = key mod sg.n in
       if remap.(s') = -1 then begin
         remap.(s') <- !count;
         incr count;
-        Queue.add s' queue
+        queue.(!qtail) <- s';
+        incr qtail
       end;
       Buffer.add_string buf sorted_names.(key / sg.n);
       Buffer.add_char buf '>';
       add_int remap.(s');
       Buffer.add_char buf ';'
-    in
-    add_int remap.(s);
-    Buffer.add_char buf ':';
-    Array.iter emit arcs;
+    done;
     Buffer.add_char buf '|'
   done;
   Buffer.contents buf
@@ -1112,6 +1273,7 @@ let signature sg =
 let force_analyses sg =
   ignore (signature sg);
   ignore (enabled_arrays sg);
+  ignore (enmask sg);
   ignore (pred sg);
   ignore (er_table sg);
   ignore (conc_rel sg);

@@ -90,6 +90,11 @@ val iter_succ : t -> state -> (Petri.trans -> state -> unit) -> unit
     arcs of [s], in arc order. *)
 val fold_succ : t -> state -> 'a -> ('a -> Petri.trans -> state -> 'a) -> 'a
 
+(** [exists_succ sg s f] — does some outgoing arc of [s] satisfy
+    [f tr target]?  Early-exits on the first hit (unlike a [fold_succ]
+    over the whole row) and allocates nothing. *)
+val exists_succ : t -> state -> (Petri.trans -> state -> bool) -> bool
+
 (** [iter_arcs sg f] — [f source tr target] over every arc of the graph,
     sources in id order, arcs of one source in arc order. *)
 val iter_arcs : t -> (state -> Petri.trans -> state -> unit) -> unit
@@ -119,6 +124,22 @@ val succ_by_label : t -> state -> Stg.label -> state list
     are copied row-wise, arcs go straight into the CSR arrays. *)
 val filter_arcs :
   t -> keep:(state -> Petri.trans -> state -> bool) -> t * state array
+
+(** What an arc filter changed, from the surviving states' point of view.
+    Codes are copied verbatim by {!filter_arcs}, so a surviving state can
+    only differ from its source state in its successor row. *)
+type delta = {
+  rows_changed : state array;
+      (** new ids (ascending) of surviving states whose successor row lost
+          at least one arc *)
+  pruned : int;  (** number of source states that did not survive *)
+}
+
+(** {!filter_arcs} plus the {!delta} report — the incremental logic
+    estimator ({!Logic.estimate_delta}) uses it to bound which signals'
+    ON/OFF sets may have changed. *)
+val filter_arcs_delta :
+  t -> keep:(state -> Petri.trans -> state -> bool) -> t * state array * delta
 
 (** [derive sg ~arcs] rebuilds the graph over the same states, codes and
     markings with the successor rows given by [arcs] (targets in [sg]'s

@@ -20,5 +20,6 @@ let () =
       ("crosscheck", Test_crosscheck.suite);
       ("techmap", Test_techmap.suite);
       ("parallel", Test_parallel.suite);
+      ("delta", Test_delta.suite);
       ("roundtrip", Test_roundtrip.suite);
     ]

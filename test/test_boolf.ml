@@ -133,6 +133,49 @@ let prop_minimize_primes =
       in
       List.for_all prime cover)
 
+let prop_minimize_irredundant =
+  QCheck.Test.make
+    ~name:"minimized covers are irredundant" ~count:300 (arb_onoff 6)
+    (fun (on, off) ->
+      QCheck.assume (disjoint on off);
+      let cover = Boolf.minimize ~n:6 ~on ~off in
+      (* Dropping any single cube must uncover some ON minterm. *)
+      let rec each kept = function
+        | [] -> true
+        | c :: rest ->
+            let others = kept @ rest in
+            List.exists
+              (fun m ->
+                Boolf.Cube.covers c m
+                && not (List.exists (fun c' -> Boolf.Cube.covers c' m) others))
+              on
+            && each (c :: kept) rest
+      in
+      on = [] || each [] cover)
+
+let prop_memo_canonical =
+  QCheck.Test.make
+    ~name:"memoized minimize is invariant under input permutation/duplication"
+    ~count:300
+    QCheck.(pair (arb_onoff 6) (int_bound 1000))
+    (fun ((on, off), salt) ->
+      QCheck.assume (disjoint on off);
+      let direct = Boolf.minimize ~n:6 ~on ~off in
+      (* A seeded shuffle plus duplication of the first element: same sets,
+         different list representations. *)
+      let mangle l =
+        let tagged =
+          List.mapi (fun i m -> (((i * 7919) + salt) mod 101, m)) l
+        in
+        let shuffled = List.map snd (List.sort compare tagged) in
+        match shuffled with [] -> [] | m :: _ -> m :: shuffled
+      in
+      let memo1 = Boolf.Memo.minimize ~n:6 ~on ~off in
+      let memo2 = Boolf.Memo.minimize ~n:6 ~on:(mangle on) ~off:(mangle off) in
+      memo1 = direct && memo2 = direct
+      && Boolf.Memo.literals ~n:6 ~on:(mangle on) ~off:(mangle off)
+         = Boolf.Cover.literals direct)
+
 let prop_contains_covers =
   QCheck.Test.make
     ~name:"contains is equivalent to minterm-wise coverage" ~count:200
@@ -175,5 +218,7 @@ let suite =
     Alcotest.test_case "estimate constants" `Quick test_estimate;
     QCheck_alcotest.to_alcotest prop_minimize_sound;
     QCheck_alcotest.to_alcotest prop_minimize_primes;
+    QCheck_alcotest.to_alcotest prop_minimize_irredundant;
+    QCheck_alcotest.to_alcotest prop_memo_canonical;
     QCheck_alcotest.to_alcotest prop_contains_covers;
   ]

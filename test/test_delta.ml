@@ -1,0 +1,190 @@
+(* Differential tests for the incremental logic-cost evaluation.
+
+   Three ways to cost an SG must agree exactly — not just on the total,
+   but on every per-signal ON/OFF set, conflict count and minimized
+   cover:
+
+   - from scratch ([Logic.evaluate ~memo:false], the reference, equal to
+     [Logic.estimate]);
+   - through the cross-candidate cover cache ([~memo:true], {!Boolf.Memo});
+   - incrementally from the parent configuration
+     ([Logic.estimate_delta]), as the reduction search does.
+
+   The same contract lifted to whole searches: [Search.optimize] outcomes
+   must be byte-identical across [`Scratch]/[`Memo]/[`Delta] evaluation
+   modes, with and without a pool. *)
+
+let jobs =
+  match Sys.getenv_opt "ASYNC_REPRO_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> 4)
+  | None -> 4
+
+let pool =
+  lazy
+    (let p = Pool.create ~jobs in
+     at_exit (fun () -> Pool.shutdown p);
+     p)
+
+(* Full textual rendering of a logic evaluation: any divergence — a set,
+   a conflict count, a cover cube, a literal count, the total — breaks
+   string equality. *)
+let eval_repr stg (e : Logic.eval) =
+  let names = Array.map (fun s -> s.Stg.Signal.name) stg.Stg.signals in
+  let ints l = String.concat "," (List.map string_of_int l) in
+  let sig_repr (ps : Logic.per_sig) =
+    Printf.sprintf "%s: on=[%s] off=[%s] conflicts=%d lits=%d cover=%s"
+      names.(ps.Logic.ps_signal) (ints ps.Logic.ps_on) (ints ps.Logic.ps_off)
+      ps.Logic.ps_conflicts ps.Logic.ps_literals
+      (Boolf.Cover.render ~names ps.Logic.ps_cover)
+  in
+  Printf.sprintf "total=%d penalty=%d\n%s" e.Logic.e_total e.Logic.e_penalty
+    (String.concat "\n" (List.map sig_repr e.Logic.e_sigs))
+
+(* Every built reduction candidate of [sg] (validated or not — the delta
+   estimator only depends on the graph), costed all three ways. *)
+let check_logic_paths name stg =
+  let sg = Gen.sg_exn stg in
+  let parent = Logic.evaluate ~memo:false sg in
+  Alcotest.(check int)
+    (name ^ " evaluate = estimate") (Logic.estimate sg) (Logic.total parent);
+  let try_one (a, b) =
+    match Reduction.fwd_red_built sg ~a ~b with
+    | Error _ -> ()
+    | Ok built ->
+        let sg' = built.Reduction.cand in
+        let r = eval_repr stg in
+        let scratch = Logic.evaluate ~memo:false sg' in
+        let memo = Logic.evaluate ~memo:true sg' in
+        let delta =
+          Logic.estimate_delta ~parent ~dropped:a ~delta:built.Reduction.delta
+            sg'
+        in
+        let step =
+          Printf.sprintf "%s FwdRed(%s,%s)" name (Stg.label_name stg a)
+            (Stg.label_name stg b)
+        in
+        Alcotest.(check string) (step ^ ": memo = scratch") (r scratch) (r memo);
+        Alcotest.(check string)
+          (step ^ ": delta = scratch") (r scratch) (r delta)
+  in
+  List.iter
+    (fun (a, b) ->
+      try_one (a, b);
+      try_one (b, a))
+    (Sg.concurrent_pairs sg)
+
+let named_specs () =
+  [
+    ("fig1", Specs.fig1 ());
+    ("LR", Expansion.four_phase Specs.lr);
+    ("PAR", Expansion.four_phase Specs.par);
+    ("MMU", Expansion.four_phase Specs.mmu);
+  ]
+
+let test_logic_named () =
+  List.iter (fun (name, stg) -> check_logic_paths name stg) (named_specs ())
+
+(* Same over every shipped .g example with a valid SG. *)
+let examples_dir () =
+  match Sys.getenv_opt "ASYNC_REPRO_EXAMPLES" with
+  | Some d -> d
+  | None ->
+      let rec up dir n =
+        let cand = Filename.concat dir "examples/data" in
+        if Sys.file_exists cand && Sys.is_directory cand then cand
+        else if n = 0 || Filename.dirname dir = dir then
+          Alcotest.fail "examples/data not found (set ASYNC_REPRO_EXAMPLES)"
+        else up (Filename.dirname dir) (n - 1)
+      in
+      up (Sys.getcwd ()) 8
+
+let test_logic_examples () =
+  let dir = examples_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".g")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "examples present" true (files <> []);
+  List.iter
+    (fun f ->
+      let stg = Stg.Io.parse_file (Filename.concat dir f) in
+      match Sg.of_stg ~warn:(fun _ -> ()) stg with
+      | Error _ -> () (* partial/inconsistent spec: nothing to cost *)
+      | Ok _ -> check_logic_paths f stg)
+    files
+
+(* 100 seeded random series-parallel STGs. *)
+let test_logic_random () =
+  for seed = 0 to 99 do
+    check_logic_paths
+      (Printf.sprintf "seed %d" seed)
+      (Gen.random_stg ~max_signals:6 seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Search-level: byte-identical outcomes across evaluation modes. *)
+
+let modes = [ ("scratch", `Scratch); ("memo", `Memo); ("delta", `Delta) ]
+
+let check_search_modes name stg =
+  let sg = Gen.sg_exn stg in
+  let p = Lazy.force pool in
+  let run ?pool mode =
+    Test_parallel.outcome_repr stg
+      (Search.optimize ?pool ~w:0.8 ~size_frontier:4 ~eval_mode:mode sg)
+  in
+  let reference = run `Scratch in
+  List.iter
+    (fun (mname, mode) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s seq" name mname)
+        reference (run mode);
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s pooled" name mname)
+        reference (run ~pool:p mode))
+    modes
+
+let test_search_named () =
+  List.iter (fun (name, stg) -> check_search_modes name stg) (named_specs ())
+
+let test_search_random () =
+  let p = Lazy.force pool in
+  for seed = 0 to 99 do
+    let stg = Gen.random_stg ~max_signals:6 seed in
+    let sg = Gen.sg_exn stg in
+    let reference =
+      Test_parallel.outcome_repr stg
+        (Search.optimize ~size_frontier:3 ~eval_mode:`Scratch sg)
+    in
+    List.iter
+      (fun (mname, mode) ->
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d %s seq" seed mname)
+          reference
+          (Test_parallel.outcome_repr stg
+             (Search.optimize ~size_frontier:3 ~eval_mode:mode sg));
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d %s pooled" seed mname)
+          reference
+          (Test_parallel.outcome_repr stg
+             (Search.optimize ~pool:p ~size_frontier:3 ~eval_mode:mode sg)))
+      modes
+  done
+
+let suite =
+  [
+    Alcotest.test_case "logic paths agree: named specs" `Quick
+      test_logic_named;
+    Alcotest.test_case "logic paths agree: shipped examples" `Quick
+      test_logic_examples;
+    Alcotest.test_case "logic paths agree: 100 random specs" `Slow
+      test_logic_random;
+    Alcotest.test_case "search modes agree: named specs" `Slow
+      test_search_named;
+    Alcotest.test_case "search modes agree: 100 random specs" `Slow
+      test_search_random;
+  ]
