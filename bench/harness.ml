@@ -1,0 +1,164 @@
+(* Shared measurement harness for the --json-prN reports in [main.ml].
+
+   PR 1-4 each grew a private copy of the wall-clock and GC estimators plus
+   a hand-rolled JSON printer; this module is the single shared copy (the
+   estimators are byte-for-byte the PR 1/PR 3 ones, so numbers stay
+   comparable to every recorded baseline).  Each measured kernel also runs
+   under an [Obs] span named ["bench.<kernel>"], so a tracing-enabled run
+   (--trace) shows in Perfetto exactly the batches the estimator consumed;
+   with recording off (the default for timing passes) the span is a single
+   atomic load. *)
+
+(* Per-run time of [f]: the minimum batch mean over several batches.
+   Scheduler interference is strictly additive, so on a busy (single-core)
+   box the minimum estimates the kernel's true cost far more stably than a
+   grand mean. *)
+let time_ns ?(name = "kernel") f =
+  let span_name = "bench." ^ name in
+  let f () = Obs.span span_name f in
+  ignore (f ());
+  (* warm-up *)
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let t1 = once () in
+  (* batch size: enough reps that one batch takes ~20 ms *)
+  let reps = max 1 (min 200 (int_of_float (0.02 /. max 1e-6 t1))) in
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let best = ref infinity in
+  for _ = 1 to 10 do
+    let b = batch () in
+    if b < !best then best := b
+  done;
+  !best *. 1e9
+
+(* Words allocated per run (Gc.quick_stat deltas: minor + major -
+   promoted), after one warm-up run to fill memo tables that amortize
+   across runs. *)
+let alloc_words_per_run f =
+  ignore (f ());
+  let reps = 5 in
+  let s0 = Gc.quick_stat () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let s1 = Gc.quick_stat () in
+  (s1.Gc.minor_words -. s0.Gc.minor_words
+  +. (s1.Gc.major_words -. s0.Gc.major_words)
+  -. (s1.Gc.promoted_words -. s0.Gc.promoted_words))
+  /. float_of_int reps
+
+(* Live-heap footprint of holding one [make ()] value: words retained
+   after a full major collection. *)
+let live_words_of make =
+  Gc.full_major ();
+  let before = (Gc.quick_stat ()).Gc.live_words in
+  let v = make () in
+  Gc.full_major ();
+  let after = (Gc.quick_stat ()).Gc.live_words in
+  (* keep [v] live across the measurement *)
+  ignore (Sys.opaque_identity v);
+  after - before
+
+(* Per-kernel minimum over [passes] full passes of [time_ns] — background
+   load on a shared box drifts on a minutes scale, so alternating full
+   passes and keeping minima beats one long run per kernel.  Logs each
+   measurement to stderr ([tag] distinguishes interleaved measurements of
+   the same kernels, e.g. eval modes). *)
+let min_over_passes ?(tag = "") ~passes kernels =
+  let res = ref (List.map (fun (name, _) -> (name, infinity)) kernels) in
+  for pass = 1 to passes do
+    res :=
+      List.map2
+        (fun (name, f) (_, best) ->
+          let ns = time_ns ~name f in
+          Printf.eprintf "pass %d %s%-24s %14.0f ns/run\n%!" pass
+            (if tag = "" then "" else Printf.sprintf "%-8s " tag)
+            name ns;
+          (name, Float.min best ns))
+        kernels !res
+  done;
+  !res
+
+(* Keep per-name minima across two measurement lists (same names, same
+   order). *)
+let min_join a b = List.map2 (fun (n, x) (_, y) -> (n, Float.min x y)) a b
+
+(* [ratio olds news] — per-name old/new, skipping names missing from
+   [news]: the speedup (or, inverted arguments, overhead) object of every
+   report. *)
+let ratio olds news =
+  List.filter_map
+    (fun (name, o) ->
+      match List.assoc_opt name news with
+      | Some n when n > 0.0 -> Some (name, o /. n)
+      | Some _ | None -> None)
+    olds
+
+(* Run [f] once with Obs recording on and return the nonzero counters it
+   moved (restoring the previous recording state).  Gives the per-kernel
+   counter snapshots BENCH_PR5.json records alongside timings. *)
+let counters_of f =
+  let was = Obs.enabled () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  ignore (Sys.opaque_identity (f ()));
+  Obs.set_enabled was;
+  let cs = List.filter (fun (_, v) -> v <> 0) (Obs.counters ()) in
+  Obs.reset ();
+  cs
+
+(* Tiny ordered JSON object builder: fields render in [add] order and the
+   separating commas are placed at render time, so emitters no longer
+   hand-track "is this the last entry?".  Values are pre-rendered strings
+   ([str]/[int]/[bool]/[obj] cover every shape the reports use; [raw] is
+   the escape hatch for nested objects). *)
+module Json = struct
+  type t = { mutable fields : (string * string) list (* reversed *) }
+
+  let create () = { fields = [] }
+  let raw t key rendered = t.fields <- (key, rendered) :: t.fields
+  let str t key v = raw t key (Printf.sprintf "\"%s\"" v)
+  let int t key v = raw t key (string_of_int v)
+  let bool t key v = raw t key (string_of_bool v)
+
+  let obj ?(fmt = format_of_string "%.0f") t key entries =
+    let body =
+      entries
+      |> List.map (fun (name, v) ->
+             Printf.sprintf ("    \"%s\": " ^^ fmt) name v)
+      |> String.concat ",\n"
+    in
+    raw t key (Printf.sprintf "{\n%s\n  }" body)
+
+  (* Nested object whose values are themselves pre-rendered (for the
+     cover-cache / counter-snapshot shapes). *)
+  let obj_raw t key entries =
+    let body =
+      entries
+      |> List.map (fun (name, v) -> Printf.sprintf "    \"%s\": %s" name v)
+      |> String.concat ",\n"
+    in
+    raw t key (Printf.sprintf "{\n%s\n  }" body)
+
+  let render t =
+    "{\n"
+    ^ (List.rev t.fields
+      |> List.map (fun (k, v) -> Printf.sprintf "  \"%s\": %s" k v)
+      |> String.concat ",\n")
+    ^ "\n}\n"
+
+  let write t path =
+    let oc = open_out path in
+    output_string oc (render t);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+end

@@ -30,6 +30,50 @@ let sg_or_fail stg =
   | Ok sg -> Ok sg
   | Error e -> Error (Format.asprintf "%a" Sg.pp_error e)
 
+(* ---- observability options (shared by check/synth/reduce) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record tracing spans during the run and write Chrome \
+           trace_event JSON to $(docv); load it at ui.perfetto.dev or \
+           about://tracing.  (Set ASYNC_REPRO_TRACE=1 in the environment \
+           to also capture work done before option parsing, such as the \
+           .g parse.)")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Record phase counters and spans during the run and print the \
+           observability summary afterwards.")
+
+(* Run [f] with recording on when asked, and emit the requested artifacts
+   afterwards — also on failure, so a trace of a crashing run survives. *)
+let with_obs trace metrics f =
+  if trace <> None || metrics then Obs.set_enabled true;
+  let finish () =
+    (match Core.metrics_summary () with
+    | Some s when metrics -> print_string s
+    | Some _ | None -> ());
+    match trace with
+    | Some file ->
+        Obs.write_chrome_trace file;
+        Printf.eprintf "wrote %s\n" file
+    | None -> ()
+  in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
 (* ---- show ---- *)
 
 let show_cmd =
@@ -47,7 +91,8 @@ let show_cmd =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run stg =
+  let run stg trace metrics =
+    with_obs trace metrics @@ fun () ->
     match sg_or_fail stg with
     | Error msg ->
         Printf.printf "consistent:          no (%s)\n" msg;
@@ -74,12 +119,13 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check implementability conditions of an STG.")
-    Term.(ret (const run $ file_pos))
+    Term.(ret (const run $ file_pos $ trace_arg $ metrics_arg))
 
 (* ---- synth ---- *)
 
 let synth_cmd =
-  let run stg max_csc verilog =
+  let run stg max_csc verilog trace metrics =
+    with_obs trace metrics @@ fun () ->
     match sg_or_fail stg with
     | Error msg -> `Error (false, msg)
     | Ok sg ->
@@ -114,12 +160,14 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Resolve CSC and synthesize logic, area and critical cycle.")
-    Term.(ret (const run $ file_pos $ max_csc $ verilog))
+    Term.(ret (const run $ file_pos $ max_csc $ verilog $ trace_arg
+          $ metrics_arg))
 
 (* ---- reduce ---- *)
 
 let reduce_cmd =
-  let run stg w frontier keeps print_stg =
+  let run stg w frontier keeps print_stg trace metrics =
+    with_obs trace metrics @@ fun () ->
     match sg_or_fail stg with
     | Error msg -> `Error (false, msg)
     | Ok sg -> (
@@ -188,7 +236,8 @@ let reduce_cmd =
   in
   Cmd.v
     (Cmd.info "reduce" ~doc:"Optimize an STG by concurrency reduction.")
-    Term.(ret (const run $ file_pos $ w $ frontier $ keeps $ print_stg))
+    Term.(ret (const run $ file_pos $ w $ frontier $ keeps $ print_stg
+          $ trace_arg $ metrics_arg))
 
 (* ---- dot ---- *)
 

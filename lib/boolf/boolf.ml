@@ -247,6 +247,8 @@ module Memo = struct
 
   let hit_count = Atomic.make 0
   let miss_count = Atomic.make 0
+  let c_hits = Obs.Counter.make "boolf.memo.hits"
+  let c_misses = Obs.Counter.make "boolf.memo.misses"
 
   let tables : (int * int list * int list, entry) Hashtbl.t Pool.Dls.key =
     Pool.Dls.new_key (fun () -> Hashtbl.create 1024)
@@ -259,9 +261,11 @@ module Memo = struct
     match Hashtbl.find_opt tbl key with
     | Some e ->
         Atomic.incr hit_count;
+        Obs.Counter.incr c_hits;
         e
     | None ->
         Atomic.incr miss_count;
+        Obs.Counter.incr c_misses;
         let cover = minimize ~n ~on ~off in
         let e = { cover; lits = Cover.literals cover } in
         Hashtbl.add tbl key e;

@@ -55,6 +55,7 @@ let render_table ~title reports =
   Buffer.contents buf
 
 let implement ?delays ?(max_csc = 6) ?(style = `Complex_gate) ~name sg =
+  Obs.span ~args:[ ("name", name) ] "core.implement" @@ fun () ->
   let states = Sg.n_states sg in
   match Csc.resolve ~max_signals:max_csc sg with
   | Error _ ->
@@ -159,6 +160,7 @@ let implement_reduced ?delays ?max_csc ?style ~name sg script =
 
 let optimize ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
     ?perf_delays ?max_cycle ~name sg =
+  Obs.span ~args:[ ("name", name) ] "core.optimize" @@ fun () ->
   let outcome =
     Search.optimize ?pool ?w ?size_frontier ?keep_conc ?perf_delays ?max_cycle
       sg
@@ -181,6 +183,7 @@ let optimize ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
    per-spec reports are exactly those of individual [optimize] calls. *)
 let optimize_all ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
     ?perf_delays ?max_cycle specs =
+  Obs.span "core.optimize_all" @@ fun () ->
   let run pool =
     List.map
       (fun (name, sg) ->
@@ -197,6 +200,12 @@ let sg_exn ?budget stg =
   | Ok sg -> sg
   | Error e ->
       failwith (Format.asprintf "SG generation failed: %a" Sg.pp_error e)
+
+(* Kept separate from [render_table] on purpose: reports must stay
+   byte-identical with tracing on or off (the differential suite diffs
+   them), so the observability summary is only ever appended by callers
+   that asked for it. *)
+let metrics_summary () = if Obs.enabled () then Some (Obs.summary ()) else None
 
 let lab stg name =
   let found = ref None in

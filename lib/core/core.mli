@@ -101,6 +101,14 @@ val optimize_all :
   (string * Sg.t) list ->
   report list
 
+(** [Some (Obs.summary ())] when tracing/metrics recording is on, [None]
+    otherwise.  Deliberately not folded into {!render_table}: reports are
+    byte-identical with observability on or off (the differential suite
+    in [test/test_obs.ml] checks exactly that), so the summary is a
+    separate artifact callers append when asked to (e.g. [astg synth
+    --metrics]). *)
+val metrics_summary : unit -> string option
+
 (** Convenience: SG of an STG or raise [Failure] with the error rendered. *)
 val sg_exn : ?budget:int -> Stg.t -> Sg.t
 

@@ -156,7 +156,13 @@ let try_insertion ?budget stg cur_conflicts ~set ~reset ~name =
 
 exception Out_of_work
 
+let c_resolve = Obs.Counter.make "csc.resolve.calls"
+let c_insertions = Obs.Counter.make "csc.insertions.tried"
+let c_inserted = Obs.Counter.make "csc.signals.inserted"
+
 let resolve ?(max_signals = 6) ?budget ?(work = 20_000) sg0 =
+  Obs.Counter.incr c_resolve;
+  Obs.span "csc.resolve" @@ fun () ->
   (* [work] bounds the total number of candidate insertions evaluated, so
      that unresolvable specifications (e.g. conflicts separated only by
      input events, like the paper's Fig. 1) fail fast instead of exploring
@@ -177,6 +183,7 @@ let resolve ?(max_signals = 6) ?budget ?(work = 20_000) sg0 =
               if set <> reset then begin
                 decr work_left;
                 if !work_left < 0 then raise Out_of_work;
+                Obs.Counter.incr c_insertions;
                 match try_insertion ?budget stg conflicts ~set ~reset ~name with
                 | Some (stg', sg', c) ->
                     let score = (c, Logic.estimate sg') in
@@ -202,7 +209,10 @@ let resolve ?(max_signals = 6) ?budget ?(work = 20_000) sg0 =
     end
   in
   match solve (Sg.stg sg0) sg0 max_signals [] with
-  | result -> result
+  | Ok r as result ->
+      Obs.Counter.add c_inserted (List.length r.inserted);
+      result
+  | Error _ as result -> result
   | exception Out_of_work -> Error "insertion work budget exhausted"
 
 let count_signals ?max_signals sg =

@@ -217,16 +217,20 @@ let non_input_signals sg =
     (fun i -> not (Stg.Signal.is_input (Stg.signal (Sg.stg sg) i)))
     (List.init nsig Fun.id)
 
+let c_synthesize = Obs.Counter.make "logic.synthesize.calls"
+
 let synthesize ?(style = `Complex_gate) sg =
-  let x = extract sg in
-  let per_signal =
-    match style with
-    | `Complex_gate ->
-        List.map (synthesize_signal_sop x sg) (non_input_signals sg)
-    | `Generalized_c ->
-        List.map (synthesize_signal_gc x sg) (non_input_signals sg)
-  in
-  { sg; style; per_signal }
+  Obs.Counter.incr c_synthesize;
+  Obs.span "logic.synthesize" (fun () ->
+      let x = extract sg in
+      let per_signal =
+        match style with
+        | `Complex_gate ->
+            List.map (synthesize_signal_sop x sg) (non_input_signals sg)
+        | `Generalized_c ->
+            List.map (synthesize_signal_gc x sg) (non_input_signals sg)
+      in
+      { sg; style; per_signal })
 
 (* ------------------------------------------------------------------ *)
 (* Cost evaluation.
@@ -287,6 +291,8 @@ let estimate ?(conflict_penalty = 4) sg =
 (* Delta-reuse accounting (process-global, all domains combined). *)
 let delta_inherited = Atomic.make 0
 let delta_recomputed = Atomic.make 0
+let c_delta_inherited = Obs.Counter.make "logic.delta.inherited"
+let c_delta_recomputed = Obs.Counter.make "logic.delta.recomputed"
 
 type delta_stats = { inherited : int; recomputed : int }
 
@@ -362,10 +368,14 @@ let estimate_delta ~parent ~dropped ~delta sg =
       eval_of_sigs ~penalty:parent.e_penalty sigs
     end
   in
-  if !inherited > 0 then
+  if !inherited > 0 then begin
     ignore (Atomic.fetch_and_add delta_inherited !inherited);
-  if !recomputed > 0 then
+    Obs.Counter.add c_delta_inherited !inherited
+  end;
+  if !recomputed > 0 then begin
     ignore (Atomic.fetch_and_add delta_recomputed !recomputed);
+    Obs.Counter.add c_delta_recomputed !recomputed
+  end;
   result
 
 let gate_cost_2input = 16

@@ -1,0 +1,431 @@
+(* Tracing/metrics substrate.  See obs.mli for the contract; the short
+   version: recording never influences results, the disabled path is one
+   atomic load, and all shared state is either per-domain (span buffers)
+   or a process-global Atomic (flags, counters, registries).  No Mutex —
+   [Mutex] lives in the threads library on OCaml 4.x, and this module
+   compiles against both backends of [Pool]. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let () =
+  match Sys.getenv_opt "ASYNC_REPRO_TRACE" with
+  | Some ("1" | "true" | "yes") -> set_enabled true
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain span buffers. *)
+
+type ev = {
+  ev_name : string;
+  ev_ph : char;  (* 'B' | 'E' *)
+  ev_ts : float;  (* seconds, monotone-clamped per buffer *)
+  ev_args : (string * string) list;
+}
+
+let dummy_ev = { ev_name = ""; ev_ph = 'B'; ev_ts = 0.; ev_args = [] }
+
+type buffer = {
+  tid : int;
+  mutable evs : ev array;
+  mutable len : int;
+  mutable last_ts : float;
+  mutable suppressed : int;
+      (* depth of open spans whose B was dropped by the event cap; their
+         matching span_end is dropped too, keeping the record well-nested *)
+}
+
+(* Per-domain event cap: long recording sessions (a whole test suite under
+   ASYNC_REPRO_TRACE=1) would otherwise grow buffers without bound.  When a
+   buffer is full, new spans are dropped WHOLE — begin and matching end —
+   so exported traces stay well-nested; ends of already-recorded spans are
+   always kept (the buffer may exceed the cap by its open depth).
+   Counters are never capped. *)
+let event_cap = Atomic.make 65_536
+let set_event_cap n = Atomic.set event_cap (max 0 n)
+let dropped = Atomic.make 0
+let dropped_events () = Atomic.get dropped
+
+(* Registry of every buffer ever created (buffers of dead pool domains
+   keep their events).  Lock-free CAS push; tids from an atomic counter. *)
+let buffers : buffer list Atomic.t = Atomic.make []
+let next_tid = Atomic.make 0
+
+let register b =
+  let rec loop () =
+    let l = Atomic.get buffers in
+    if not (Atomic.compare_and_set buffers l (b :: l)) then loop ()
+  in
+  loop ()
+
+let buffer_key : buffer Pool.Dls.key =
+  Pool.Dls.new_key (fun () ->
+      let b =
+        {
+          tid = Atomic.fetch_and_add next_tid 1;
+          evs = Array.make 256 dummy_ev;
+          len = 0;
+          last_ts = 0.;
+          suppressed = 0;
+        }
+      in
+      register b;
+      b)
+
+let push b ev =
+  if b.len = Array.length b.evs then begin
+    let grown = Array.make (2 * b.len) dummy_ev in
+    Array.blit b.evs 0 grown 0 b.len;
+    b.evs <- grown
+  end;
+  b.evs.(b.len) <- ev;
+  b.len <- b.len + 1
+
+(* Wall-clock, clamped non-decreasing per buffer so per-tid timestamp
+   monotonicity holds by construction. *)
+let now b =
+  let t = Unix.gettimeofday () in
+  let t = if t >= b.last_ts then t else b.last_ts in
+  b.last_ts <- t;
+  t
+
+let span_begin ?(args = []) name =
+  if Atomic.get enabled_flag then begin
+    let b = Pool.Dls.get buffer_key in
+    if b.len >= Atomic.get event_cap then begin
+      b.suppressed <- b.suppressed + 1;
+      Atomic.incr dropped
+    end
+    else push b { ev_name = name; ev_ph = 'B'; ev_ts = now b; ev_args = args }
+  end
+
+let span_end name =
+  if Atomic.get enabled_flag then begin
+    let b = Pool.Dls.get buffer_key in
+    if b.suppressed > 0 then b.suppressed <- b.suppressed - 1
+    else push b { ev_name = name; ev_ph = 'E'; ev_ts = now b; ev_args = [] }
+  end
+
+let span ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    span_begin ?args name;
+    match f () with
+    | v ->
+        span_end name;
+        v
+    | exception e ->
+        span_end name;
+        raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges: one process-global Atomic cell per name.  The
+   registry is a CAS-pushed list; [make] re-scans on CAS failure, so one
+   name can never get two cells. *)
+
+type cell = { c_name : string; c_value : int Atomic.t }
+
+let make_in registry name =
+  let rec loop () =
+    let l = Atomic.get registry in
+    match List.find_opt (fun c -> String.equal c.c_name name) l with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = Atomic.make 0 } in
+        if Atomic.compare_and_set registry l (c :: l) then c else loop ()
+  in
+  loop ()
+
+let snapshot registry =
+  Atomic.get registry
+  |> List.map (fun c -> (c.c_name, Atomic.get c.c_value))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter_registry : cell list Atomic.t = Atomic.make []
+let gauge_registry : cell list Atomic.t = Atomic.make []
+
+module Counter = struct
+  type t = cell
+
+  let make name = make_in counter_registry name
+  let name c = c.c_name
+  let incr c = if Atomic.get enabled_flag then Atomic.incr c.c_value
+
+  let add c k =
+    if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value k)
+
+  let value c = Atomic.get c.c_value
+end
+
+module Gauge = struct
+  type t = cell
+
+  let make name = make_in gauge_registry name
+  let name c = c.c_name
+  let set c v = if Atomic.get enabled_flag then Atomic.set c.c_value v
+  let value c = Atomic.get c.c_value
+end
+
+let counters () = snapshot counter_registry
+let gauges () = snapshot gauge_registry
+
+let reset () =
+  List.iter
+    (fun c -> Atomic.set c.c_value 0)
+    (Atomic.get counter_registry @ Atomic.get gauge_registry);
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.last_ts <- 0.;
+      b.suppressed <- 0)
+    (Atomic.get buffers);
+  Atomic.set dropped 0
+
+(* ------------------------------------------------------------------ *)
+(* Export. *)
+
+(* Buffers in tid order; a deterministic merge of whatever was recorded. *)
+let sorted_buffers () =
+  List.sort (fun a b -> Int.compare a.tid b.tid) (Atomic.get buffers)
+
+let epoch () =
+  List.fold_left
+    (fun acc b -> if b.len > 0 then Float.min acc b.evs.(0).ev_ts else acc)
+    infinity (sorted_buffers ())
+
+let events () =
+  let t0 = epoch () in
+  List.concat_map
+    (fun b ->
+      List.init b.len (fun i ->
+          let e = b.evs.(i) in
+          (b.tid, e.ev_name, e.ev_ph, (e.ev_ts -. t0) *. 1e6)))
+    (sorted_buffers ())
+
+let summary () =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== observability summary ==\n";
+  let section title = function
+    | [] -> add "%s: (none)\n" title
+    | entries ->
+        add "%s:\n" title;
+        List.iter (fun (name, v) -> add "  %-36s %12d\n" name v) entries
+  in
+  section "counters" (List.filter (fun (_, v) -> v <> 0) (counters ()));
+  if Atomic.get dropped > 0 then
+    add "dropped spans (event cap): %d\n" (Atomic.get dropped);
+  let gs = List.filter (fun (_, v) -> v <> 0) (gauges ()) in
+  if gs <> [] then section "gauges" gs;
+  (* Per-name span aggregates: pair B/E per tid with a stack. *)
+  let agg : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      let stack = ref [] in
+      for i = 0 to b.len - 1 do
+        let e = b.evs.(i) in
+        match e.ev_ph with
+        | 'B' -> stack := (e.ev_name, e.ev_ts) :: !stack
+        | 'E' -> (
+            match !stack with
+            | (name, t0) :: rest ->
+                stack := rest;
+                let count, total =
+                  match Hashtbl.find_opt agg name with
+                  | Some cell -> cell
+                  | None ->
+                      let cell = (ref 0, ref 0.) in
+                      Hashtbl.add agg name cell;
+                      order := name :: !order;
+                      cell
+                in
+                incr count;
+                total := !total +. (e.ev_ts -. t0)
+            | [] -> () (* unmatched E: drop *))
+        | _ -> ()
+      done)
+    (sorted_buffers ());
+  (match List.sort String.compare !order with
+  | [] -> add "spans: (none)\n"
+  | names ->
+      add "spans:\n";
+      add "  %-36s %8s %12s\n" "name" "count" "total_ms";
+      List.iter
+        (fun name ->
+          let count, total = Hashtbl.find agg name in
+          add "  %-36s %8d %12.3f\n" name !count (!total *. 1e3))
+        names);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chrome_trace () =
+  let t0 = epoch () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun b ->
+      for i = 0 to b.len - 1 do
+        let e = b.evs.(i) in
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+             (json_escape e.ev_name) e.ev_ph
+             ((e.ev_ts -. t0) *. 1e6)
+             b.tid);
+        if e.ev_args <> [] then begin
+          Buffer.add_string buf ",\"args\":{";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+            e.ev_args;
+          Buffer.add_char buf '}'
+        end;
+        Buffer.add_char buf '}'
+      done)
+    (sorted_buffers ());
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  output_string oc (chrome_trace ());
+  close_out oc
+
+module Chrome = struct
+  (* Pull the value of ["key":] out of one event line.  Good enough for
+     the one-event-per-line JSON this module emits (and for hand-written
+     test fixtures in the same shape). *)
+  let field line key =
+    let pat = "\"" ^ key ^ "\":" in
+    let n = String.length line and m = String.length pat in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub line i m = pat then Some (i + m)
+      else find (i + 1)
+    in
+    Option.map
+      (fun start ->
+        let stop = ref start in
+        if start < n && line.[start] = '"' then begin
+          (* string value: scan to the closing unescaped quote *)
+          incr stop;
+          let start = !stop in
+          while !stop < n && line.[!stop] <> '"' do
+            if line.[!stop] = '\\' then incr stop;
+            incr stop
+          done;
+          String.sub line start (!stop - start)
+        end
+        else begin
+          while
+            !stop < n
+            && (match line.[!stop] with
+               | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+               | _ -> false)
+          do
+            incr stop
+          done;
+          String.sub line start (!stop - start)
+        end)
+      (find 0)
+
+  let validate text =
+    let stacks : (int, (string * float) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let stack tid =
+      match Hashtbl.find_opt stacks tid with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.add stacks tid s;
+          s
+    in
+    let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let error = ref None in
+    let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+    let handle lineno line =
+      match field line "ph" with
+      | None -> ()
+      | Some ph when ph = "B" || ph = "E" -> (
+          let name = Option.value (field line "name") ~default:"" in
+          match (field line "tid", field line "ts") with
+          | None, _ -> fail "line %d: event without tid" lineno
+          | _, None -> fail "line %d: event without ts" lineno
+          | Some tid, Some ts -> (
+              match (int_of_string_opt tid, float_of_string_opt ts) with
+              | Some tid, Some ts -> (
+                  (match Hashtbl.find_opt last_ts tid with
+                  | Some prev when ts < prev ->
+                      fail "line %d: ts %.3f < %.3f on tid %d" lineno ts prev
+                        tid
+                  | Some _ | None -> ());
+                  Hashtbl.replace last_ts tid ts;
+                  let s = stack tid in
+                  if ph = "B" then s := (name, ts) :: !s
+                  else
+                    match !s with
+                    | [] -> fail "line %d: E \"%s\" with empty stack" lineno name
+                    | (open_name, _) :: rest ->
+                        if name <> "" && name <> open_name then
+                          fail "line %d: E \"%s\" closes open \"%s\"" lineno
+                            name open_name
+                        else s := rest)
+              | _ -> fail "line %d: unparsable tid/ts" lineno))
+      | Some _ -> ()
+    in
+    List.iteri (fun i l -> handle (i + 1) l) (String.split_on_char '\n' text);
+    Hashtbl.iter
+      (fun tid s ->
+        match !s with
+        | [] -> ()
+        | (name, _) :: _ -> fail "tid %d: span \"%s\" never closed" tid name)
+      stacks;
+    match !error with None -> Ok () | Some msg -> Error msg
+
+  let scrub_timestamps text =
+    let buf = Buffer.create (String.length text) in
+    let n = String.length text in
+    let pat = "\"ts\":" in
+    let m = String.length pat in
+    let i = ref 0 in
+    while !i < n do
+      if !i + m <= n && String.sub text !i m = pat then begin
+        Buffer.add_string buf "\"ts\":0";
+        i := !i + m;
+        while
+          !i < n
+          && (match text.[!i] with
+             | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr i
+        done
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+end

@@ -92,9 +92,22 @@ type verdict =
   | Dropped
   | Cand of { signature : string; cfg : config option }
 
+(* Phase counters (see DESIGN.md, "Observability").  Every candidate task is
+   counted exactly once: [candidates] at evaluation, then one of [deduped]
+   (signature already seen), [rejected] (build or Def. 5.1 validation
+   failure), [infeasible] (valid but over the performance bound), or
+   [accepted] (joined the frontier at merge). *)
+let c_candidates = Obs.Counter.make "search.candidates"
+let c_accepted = Obs.Counter.make "search.accepted"
+let c_rejected = Obs.Counter.make "search.rejected"
+let c_deduped = Obs.Counter.make "search.deduped"
+let c_infeasible = Obs.Counter.make "search.infeasible"
+let c_levels = Obs.Counter.make "search.levels"
+
 let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle
     ?(eval_mode = `Delta) sg0 =
+  Obs.span "search.optimize" @@ fun () ->
   (* Performance constraint: when both [perf_delays] and [max_cycle] are
      given, a configuration only survives if the timed replay of its SG has
      a critical cycle within the bound (reduction can only lengthen the
@@ -146,11 +159,18 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
      for an already-seen candidate is sound because the checks are a
      deterministic function of (source, candidate). *)
   let eval_task (cfg, a, b) =
+    Obs.Counter.incr c_candidates;
+    Obs.span "search.candidate" @@ fun () ->
     match Reduction.fwd_red_built cfg.sg ~a ~b with
-    | Error _ -> Dropped
+    | Error _ ->
+        Obs.Counter.incr c_rejected;
+        Dropped
     | Ok built -> (
         let key = Sg.signature built.Reduction.cand in
-        if Hashtbl.mem seen key then Dropped
+        if Hashtbl.mem seen key then begin
+          Obs.Counter.incr c_deduped;
+          Dropped
+        end
         else
           match Reduction.validate ~source:cfg.sg built with
           | Ok sg' when keeps_protected keep_conc sg' ->
@@ -159,13 +179,22 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
                   Some
                     (eval_child cfg ~a ~delta:built.Reduction.delta sg'
                        ((a, b) :: cfg.applied))
-                else None
+                else begin
+                  Obs.Counter.incr c_infeasible;
+                  None
+                end
               in
               Cand { signature = key; cfg = cfg' }
-          | Ok _ | Error _ -> Dropped)
+          | Ok _ | Error _ ->
+              Obs.Counter.incr c_rejected;
+              Dropped)
   in
   while !frontier <> [] && !levels < max_levels do
     incr levels;
+    Obs.Counter.incr c_levels;
+    (* Raw begin/end (no closure on the search's outer loop); nothing in
+       the level body raises, so the pair always closes. *)
+    Obs.span_begin "search.level";
     (* Deterministic task enumeration: frontier configurations in rank
        order, then [oriented_candidates] order.  The merge below processes
        verdicts in exactly this order, so parallel and sequential runs are
@@ -193,6 +222,7 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
             match cfg with
             | None -> ()
             | Some cfg' ->
+                Obs.Counter.incr c_accepted;
                 incr explored;
                 (match !best with
                 | Some b when cfg'.cost >= b.cost -> ()
@@ -215,7 +245,8 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
         (fun c1 c2 -> compare c1.cost c2.cost)
         (List.rev !merged)
     in
-    frontier := List.filteri (fun i _ -> i < size_frontier) sorted
+    frontier := List.filteri (fun i _ -> i < size_frontier) sorted;
+    Obs.span_end "search.level"
   done;
   let best, feasible =
     match !best with

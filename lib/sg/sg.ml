@@ -379,10 +379,14 @@ exception Inconsistency of string
 
 let default_warn msg = Printf.eprintf "sg: warning: %s\n%!" msg
 
+let c_of_stg = Obs.Counter.make "sg.of_stg.calls"
+let c_of_stg_states = Obs.Counter.make "sg.of_stg.states"
+let c_filter_arcs = Obs.Counter.make "sg.filter_arcs.calls"
+
 (* A state is a (marking, signal parity) pair: an STG with toggle events
    (2-phase refinements) revisits markings with flipped signal values, which
    are distinct SG states. *)
-let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
+let of_stg_impl ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
     stg =
   let net = stg.Stg.net in
   let nsig = Stg.n_signals stg in
@@ -496,6 +500,15 @@ let of_stg ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn)
     | exception Inconsistency msg -> Error (Inconsistent msg)
   end
 
+let of_stg ?budget ?initial_values ?warn stg =
+  Obs.Counter.incr c_of_stg;
+  Obs.span "sg.of_stg" (fun () ->
+      let r = of_stg_impl ?budget ?initial_values ?warn stg in
+      (match r with
+      | Ok sg -> Obs.Counter.add c_of_stg_states sg.n
+      | Error _ -> ());
+      r)
+
 type delta = { rows_changed : state array; pruned : int }
 
 (* Rebuild keeping only the arcs [keep] accepts, pruning states no longer
@@ -504,6 +517,9 @@ type delta = { rows_changed : state array; pruned : int }
    runs once per arc, codes and markings are copied row-wise, arcs go
    straight into the new CSR arrays — no per-state allocation. *)
 let filter_arcs_delta sg ~keep =
+  (* Counter only — this runs once per search candidate, so even a span's
+     closure allocation is unwelcome on the disabled fast path. *)
+  Obs.Counter.incr c_filter_arcs;
   let n_old = sg.n in
   let m_old = n_arcs sg in
   let kept = Bytes.make m_old '\000' in

@@ -244,7 +244,9 @@ module Io = struct
     flush ();
     List.rev !out
 
-  let parse text =
+  let c_parse = Obs.Counter.make "stg.parse.calls"
+
+  let parse_body text =
     let lines = lines_of_string text in
     let inputs = ref [] and outputs = ref [] and internals = ref [] in
     let dummies = ref [] in
@@ -406,6 +408,10 @@ module Io = struct
     done;
     let net = Petri.Builder.build b2 in
     of_net ~inputs:!inputs ~outputs:!outputs ~internals:!internals net
+
+  let parse text =
+    Obs.Counter.incr c_parse;
+    Obs.span "stg.parse" (fun () -> parse_body text)
 
   let to_dot = io_to_dot
 

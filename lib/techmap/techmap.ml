@@ -124,9 +124,13 @@ let map_cover ~nvars cover =
   let pos, _ = solve (tree_of_cover ~nvars cover) in
   mapping_of_choice pos
 
+let c_map = Obs.Counter.make "techmap.map.calls"
+
 let map_impl (impl : Logic.impl) =
   if Logic.conflicts impl > 0 then
     invalid_arg "Techmap.map_impl: CSC conflicts remain";
+  Obs.Counter.incr c_map;
+  Obs.span "techmap.map" @@ fun () ->
   let nvars = Stg.n_signals (Sg.stg impl.Logic.sg) in
   let per_driver d =
     match d with

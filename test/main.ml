@@ -1,6 +1,22 @@
+(* When the suite runs with tracing on (ASYNC_REPRO_TRACE=1, as the CI
+   tier-1 job does), dump whatever the trace buffers hold at exit as a
+   Chrome trace artifact.  Tests that enable recording locally reset the
+   buffers behind themselves, so the artifact mostly shows the suites
+   that ran after the obs suite — plenty to load in Perfetto. *)
+let () =
+  if Obs.enabled () then
+    at_exit (fun () ->
+        let file =
+          Option.value ~default:"obs_trace.json"
+            (Sys.getenv_opt "ASYNC_REPRO_TRACE_FILE")
+        in
+        Obs.write_chrome_trace file;
+        Printf.eprintf "wrote %s\n%!" file)
+
 let () =
   Alcotest.run "async_repro"
     [
+      ("obs", Test_obs.suite);
       ("petri", Test_petri.suite);
       ("stg", Test_stg.suite);
       ("sg", Test_sg.suite);

@@ -1,0 +1,347 @@
+(* Differential and property tests for the observability layer (lib/obs).
+
+   The contract under test (DESIGN.md, "Observability"): recording spans
+   and counters has ZERO behavioural impact — every flow result is
+   byte-identical with tracing enabled or disabled, sequentially and
+   under a pool — and the exported artifacts are structurally sound
+   (well-nested per domain, monotone timestamps, Perfetto-loadable JSON).
+
+   Golden tests pin the summary table and the Chrome trace for one fixed
+   sequential flow; regenerate the .expected files with
+   ASYNC_REPRO_BLESS=1 after an intentional taxonomy change. *)
+
+let pool = Test_parallel.pool
+
+(* Run [f] with recording forced on/off, restoring the previous state
+   (the CI tier-1 job runs the whole suite under ASYNC_REPRO_TRACE=1, so
+   tests must not clobber it). *)
+let with_enabled on f =
+  let was = Obs.enabled () in
+  Obs.set_enabled on;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+(* ------------------------------------------------------------------ *)
+(* Differential: enabled vs disabled runs must be byte-identical.      *)
+
+let search_diff name ?pool sg repr =
+  let run () = Search.optimize ?pool ~w:0.8 ~size_frontier:4 sg in
+  let off = with_enabled false run in
+  let on = with_enabled true run in
+  Alcotest.(check string) (name ^ " on=off") (repr off) (repr on)
+
+(* Paper specs, at the bench's search parameters, sequential and pooled. *)
+let test_differential_named () =
+  let p = Lazy.force pool in
+  List.iter
+    (fun (name, stg) ->
+      let sg = Gen.sg_exn stg in
+      let repr = Test_parallel.outcome_repr stg in
+      search_diff (name ^ " seq") sg repr;
+      search_diff (name ^ " pool") ~pool:p sg repr)
+    (Test_parallel.named_specs ());
+  Obs.reset ()
+
+(* Full end-to-end batch reports — pretty-printed rows, the rendered
+   table and the synthesized equations — through Core.optimize_all. *)
+let test_differential_report () =
+  let p = Lazy.force pool in
+  let specs =
+    List.map (fun (n, stg) -> (n, Gen.sg_exn stg)) (Test_parallel.named_specs ())
+  in
+  let render rs =
+    Core.render_table ~title:"obs-diff" rs
+    ^ String.concat "\n"
+        (List.map
+           (fun (r : Core.report) ->
+             Format.asprintf "%a@.%s" Core.pp_report r r.Core.equations)
+           rs)
+  in
+  let run () = Core.optimize_all ~pool:p ~w:0.8 ~size_frontier:4 specs in
+  let off = with_enabled false run in
+  let on = with_enabled true run in
+  Alcotest.(check string) "optimize_all on=off" (render off) (render on);
+  Obs.reset ()
+
+(* Every .g file shipped under examples/data (skipping any the SG
+   builder rejects — the differential only applies to flows that run). *)
+let test_differential_examples () =
+  List.iter
+    (fun (file, path) ->
+      let stg = Stg.Io.parse_file path in
+      match Sg.of_stg stg with
+      | Error _ -> ()
+      | Ok sg ->
+          let repr = Test_parallel.outcome_repr stg in
+          let run () = Search.optimize ~size_frontier:2 sg in
+          let off = with_enabled false run in
+          let on = with_enabled true run in
+          Alcotest.(check string) (file ^ " on=off") (repr off) (repr on))
+    (Test_roundtrip.g_files ());
+  Obs.reset ()
+
+(* 100 seeded random series-parallel STGs, sequential and pooled.
+   Periodic resets keep the span buffers bounded on tracing-enabled CI
+   runs (the per-domain event cap would otherwise engage and hide real
+   events from the uploaded trace). *)
+let test_differential_random () =
+  let p = Lazy.force pool in
+  for seed = 0 to 99 do
+    let stg = Gen.random_stg ~max_signals:6 seed in
+    let sg = Gen.sg_exn stg in
+    let repr = Test_parallel.outcome_repr stg in
+    let seq () = Search.optimize ~size_frontier:2 sg in
+    let par () = Search.optimize ~pool:p ~size_frontier:2 sg in
+    let off = with_enabled false seq in
+    let on = with_enabled true seq in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d seq" seed)
+      (repr off) (repr on);
+    let poff = with_enabled false par in
+    let pon = with_enabled true par in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d pool" seed)
+      (repr poff) (repr pon);
+    if seed mod 10 = 9 then Obs.reset ()
+  done;
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: structural soundness of the recorded/merged/exported spans. *)
+
+type stree = Leaf | Node of int * stree list
+
+let rec exec_tree = function
+  | Leaf -> Obs.span "t.leaf" (fun () -> ())
+  | Node (k, kids) ->
+      Obs.span (Printf.sprintf "t.n%d" k) (fun () -> List.iter exec_tree kids)
+
+let rec tree_size = function
+  | Leaf -> 1
+  | Node (_, kids) -> 1 + List.fold_left (fun a t -> a + tree_size t) 0 kids
+
+let gen_tree =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then return Leaf
+        else
+          frequency
+            [
+              (1, return Leaf);
+              ( 3,
+                map2
+                  (fun k kids -> Node (k, kids))
+                  (int_bound 3)
+                  (list_size (int_bound 3) (self (n / 2))) );
+            ]))
+
+let arb_forest =
+  QCheck.make
+    ~print:(fun ts ->
+      Printf.sprintf "forest of %d trees, %d spans" (List.length ts)
+        (List.fold_left (fun a t -> a + tree_size t) 0 ts))
+    QCheck.Gen.(list_size (int_bound 8) gen_tree)
+
+(* Execute a forest of span trees across the pool's domains and return
+   the merged event stream. *)
+let record_forest forest =
+  let p = Lazy.force pool in
+  with_enabled true (fun () ->
+      Obs.reset ();
+      ignore
+        (Pool.map_list p
+           (fun t ->
+             exec_tree t;
+             0)
+           forest));
+  let evs = Obs.events () in
+  Obs.reset ();
+  evs
+
+(* Stack discipline per tid: every E closes the innermost open B of the
+   same name, timestamps are non-decreasing per tid, nothing left open. *)
+let well_nested evs =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let last : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun (tid, name, ph, ts) ->
+      (match Hashtbl.find_opt last tid with
+      | Some prev when ts < prev -> ok := false
+      | _ -> ());
+      Hashtbl.replace last tid ts;
+      let st = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+      match ph with
+      | 'B' -> Hashtbl.replace stacks tid (name :: st)
+      | 'E' -> (
+          match st with
+          | top :: rest when String.equal top name ->
+              Hashtbl.replace stacks tid rest
+          | _ -> ok := false)
+      | _ -> ok := false)
+    evs;
+  Hashtbl.iter (fun _ st -> if st <> [] then ok := false) stacks;
+  !ok
+
+let prop_spans_well_nested =
+  QCheck.Test.make ~name:"merged span events are well-nested per domain"
+    ~count:50 arb_forest (fun forest -> well_nested (record_forest forest))
+
+let prop_chrome_validates =
+  QCheck.Test.make
+    ~name:"chrome_trace passes the validator for any recorded forest"
+    ~count:50 arb_forest (fun forest ->
+      let p = Lazy.force pool in
+      with_enabled true (fun () ->
+          Obs.reset ();
+          ignore
+            (Pool.map_list p
+               (fun t ->
+                 exec_tree t;
+                 0)
+               forest));
+      let r = Obs.Chrome.validate (Obs.chrome_trace ()) in
+      Obs.reset ();
+      r = Ok ())
+
+(* Counter totals are exact under concurrent increments from pool tasks. *)
+let prop_counter_totals =
+  QCheck.Test.make
+    ~name:"counter totals equal the sum of per-task increments" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 16) (int_range 0 64))
+    (fun tasks ->
+      let p = Lazy.force pool in
+      let c = Obs.Counter.make "test.obs.incr" in
+      let a = Obs.Counter.make "test.obs.add" in
+      with_enabled true (fun () ->
+          Obs.reset ();
+          ignore
+            (Pool.map_list p
+               (fun n ->
+                 for _ = 1 to n do
+                   Obs.Counter.incr c
+                 done;
+                 Obs.Counter.add a n;
+                 n)
+               tasks));
+      let sum = List.fold_left ( + ) 0 tasks in
+      let ok = Obs.Counter.value c = sum && Obs.Counter.value a = sum in
+      Obs.reset ();
+      ok)
+
+(* ------------------------------------------------------------------ *)
+(* Golden exporter tests: one fixed sequential flow, pinned artifacts. *)
+
+(* Where the source test/ directory lives (for ASYNC_REPRO_BLESS; dune
+   runs tests from _build/default/test). *)
+let source_test_dir () =
+  let rec up dir n =
+    let cand = Filename.concat dir "test" in
+    if Sys.file_exists (Filename.concat cand "test_obs.ml") then cand
+    else if n = 0 || Filename.dirname dir = dir then
+      Alcotest.fail "source test/ directory not found (for blessing)"
+    else up (Filename.dirname dir) (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let check_golden name actual =
+  match Sys.getenv_opt "ASYNC_REPRO_BLESS" with
+  | Some _ ->
+      let path = Filename.concat (source_test_dir ()) name in
+      let oc = open_out_bin path in
+      output_string oc actual;
+      close_out oc;
+      Printf.printf "blessed %s\n" path
+  | None ->
+      (* dune runtest copies the .expected deps next to the binary; a
+         bare `dune exec` runs from the project root, so fall back to
+         the source tree. *)
+      let name =
+        if Sys.file_exists name then name
+        else Filename.concat (source_test_dir ()) name
+      in
+      if not (Sys.file_exists name) then
+        Alcotest.fail
+          (name ^ " missing - regenerate with ASYNC_REPRO_BLESS=1 dune runtest");
+      let ic = open_in_bin name in
+      let expected = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) name expected actual
+
+(* Blank the total_ms column of the summary's span table (counts and
+   counters are deterministic for a fixed sequential flow; wall time is
+   not). *)
+let scrub_summary s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ name; count; ms ]
+           when String.contains ms '.' && float_of_string_opt ms <> None ->
+             Printf.sprintf "  %-36s %8s %12s" name count "-"
+         | _ -> line)
+  |> String.concat "\n"
+
+(* The fixed flow: print/parse round-trip of the four-phase LR handshake,
+   SG construction, a small reduction search, logic synthesis on the
+   winner.  Everything is sequential and the Boolf memo is cleared first,
+   so every counter and span count is deterministic; only timestamps vary
+   (scrubbed before comparison). *)
+let fixed_artifacts =
+  lazy
+    (let text = Stg.Io.print (Expansion.four_phase Specs.lr) in
+     Boolf.Memo.clear ();
+     Obs.reset ();
+     with_enabled true (fun () ->
+         let stg = Stg.Io.parse text in
+         let sg = Gen.sg_exn stg in
+         let o = Search.optimize ~w:0.8 ~size_frontier:2 sg in
+         ignore (Logic.synthesize o.Search.best.Search.sg));
+     let summary = scrub_summary (Obs.summary ()) in
+     let trace = Obs.Chrome.scrub_timestamps (Obs.chrome_trace ()) in
+     Obs.reset ();
+     (summary, trace))
+
+let test_golden_summary () =
+  check_golden "obs_summary.expected" (fst (Lazy.force fixed_artifacts))
+
+let test_golden_trace () =
+  let trace = snd (Lazy.force fixed_artifacts) in
+  (match Obs.Chrome.validate trace with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("golden trace invalid: " ^ e));
+  check_golden "obs_trace.expected" trace
+
+(* Acceptance: a traced MMU search (the biggest paper spec) exports a
+   Chrome trace the validator accepts, sequentially and pooled. *)
+let test_mmu_trace () =
+  let sg = Gen.sg_exn (Expansion.four_phase Specs.mmu) in
+  let p = Lazy.force pool in
+  List.iter
+    (fun (mode, run) ->
+      Obs.reset ();
+      with_enabled true (fun () -> ignore (run ()));
+      (match Obs.Chrome.validate (Obs.chrome_trace ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (mode ^ " MMU trace invalid: " ^ e));
+      Obs.reset ())
+    [
+      ("seq", fun () -> Search.optimize ~w:0.8 ~size_frontier:4 sg);
+      ("pool", fun () -> Search.optimize ~pool:p ~w:0.8 ~size_frontier:4 sg);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "differential: named specs (seq+pool)" `Slow
+      test_differential_named;
+    Alcotest.test_case "differential: optimize_all reports" `Slow
+      test_differential_report;
+    Alcotest.test_case "differential: examples/data" `Quick
+      test_differential_examples;
+    Alcotest.test_case "differential: 100 random specs (seq+pool)" `Slow
+      test_differential_random;
+    QCheck_alcotest.to_alcotest prop_spans_well_nested;
+    QCheck_alcotest.to_alcotest prop_chrome_validates;
+    QCheck_alcotest.to_alcotest prop_counter_totals;
+    Alcotest.test_case "golden: summary table" `Quick test_golden_summary;
+    Alcotest.test_case "golden: chrome trace" `Quick test_golden_trace;
+    Alcotest.test_case "MMU trace validates (seq+pool)" `Slow test_mmu_trace;
+  ]
