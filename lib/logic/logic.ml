@@ -41,7 +41,16 @@ let excited sg s sigid =
    possible iff some state leaves [k] at 1: [v = 1 && exc_all_k = 0] or
    [v = 0 && exc_any_k = 1]; symmetrically for next-value 0.  ER(k+)
    membership is [v = 0 && exc_any_k = 1], stable-0 is
-   [v = 0 && exc_all_k = 0], etc. *)
+   [v = 0 && exc_all_k = 0], etc.
+
+   Cost-side extraction ([ghosts = true]) additionally folds the SG's
+   ghost contributions — the (code, excited-mask) pairs of states pruned
+   along the filter lineage, frozen at pruning time — into the same
+   aggregates.  This keeps the don't-care universe stable along a
+   reduction lineage, which is what makes the per-signal [Sg.delta]
+   support bound exact (see DESIGN.md, "Per-signal support tracking").
+   Synthesis uses [ghosts = false]: final equations keep the paper's
+   reachable-code semantics. *)
 
 type extraction = {
   x_codes : int array;  (** distinct state codes, ascending *)
@@ -62,59 +71,94 @@ let excited_masks sg =
   done;
   exc
 
-let extract sg =
+(* Per-domain scratch for the direct-address extraction path: tables grown
+   on demand, the seen-map re-cleared entry by entry after each use.  One
+   call touches O(distinct codes) of the tables instead of allocating and
+   zeroing 2^nsig words — at nsig = 16 the old behaviour churned ~1 MiB
+   per call even for a handful of states. *)
+type scratch = {
+  mutable sc_any : int array;
+  mutable sc_all : int array;
+  mutable sc_seen : Bytes.t;
+  mutable sc_tmp : int array;
+}
+
+let scratch_key =
+  Pool.Dls.new_key (fun () ->
+      { sc_any = [||]; sc_all = [||]; sc_seen = Bytes.empty; sc_tmp = [||] })
+
+let extract ~ghosts sg =
   let nsig = Stg.n_signals (Sg.stg sg) in
   let nst = Sg.n_states sg in
   let exc = excited_masks sg in
-  if nsig <= 16 then begin
-    (* Direct-address tables over the code space, as in the previous
-       [estimate] fast path. *)
+  let ng = if ghosts then Sg.n_ghosts sg else 0 in
+  let total = nst + ng in
+  (* Direct addressing only pays when the code-space table is no bigger
+     than a small multiple of the contribution count; otherwise hash. *)
+  if nsig <= 16 && 1 lsl nsig <= 4 * total then begin
     let size = 1 lsl nsig in
-    let any = Array.make size 0 and all = Array.make size 0 in
-    let seen = Bytes.make size '\000' in
-    let tmp = Array.make (max nst 1) 0 in
+    let sc = Pool.Dls.get scratch_key in
+    if Array.length sc.sc_any < size then begin
+      sc.sc_any <- Array.make size 0;
+      sc.sc_all <- Array.make size 0;
+      sc.sc_seen <- Bytes.make size '\000'
+    end;
+    if Array.length sc.sc_tmp < total then sc.sc_tmp <- Array.make total 0;
+    let any = sc.sc_any and all = sc.sc_all in
+    let seen = sc.sc_seen and tmp = sc.sc_tmp in
     let k = ref 0 in
-    for s = 0 to nst - 1 do
-      let m = minterm_of_code sg s in
+    let add m e =
       if Bytes.get seen m = '\000' then begin
         Bytes.set seen m '\001';
         tmp.(!k) <- m;
         incr k;
-        any.(m) <- exc.(s);
-        all.(m) <- exc.(s)
+        any.(m) <- e;
+        all.(m) <- e
       end
       else begin
-        any.(m) <- any.(m) lor exc.(s);
-        all.(m) <- all.(m) land exc.(s)
+        any.(m) <- any.(m) lor e;
+        all.(m) <- all.(m) land e
       end
+    in
+    for s = 0 to nst - 1 do
+      add (minterm_of_code sg s) exc.(s)
     done;
+    if ghosts then Sg.iter_ghosts sg add;
     let codes = Array.sub tmp 0 !k in
     Array.sort Int.compare codes;
-    {
-      x_codes = codes;
-      x_any = Array.map (fun m -> any.(m)) codes;
-      x_all = Array.map (fun m -> all.(m)) codes;
-    }
+    let x =
+      {
+        x_codes = codes;
+        x_any = Array.map (fun m -> any.(m)) codes;
+        x_all = Array.map (fun m -> all.(m)) codes;
+      }
+    in
+    (* Restore the all-zeros seen-map invariant for the next call. *)
+    Array.iter (fun m -> Bytes.set seen m '\000') codes;
+    x
   end
   else begin
-    let idx = Hashtbl.create (2 * max 1 nst) in
-    let cs = Array.make (max nst 1) 0 in
-    let any = Array.make (max nst 1) 0 and all = Array.make (max nst 1) 0 in
+    let idx = Hashtbl.create (2 * max 1 total) in
+    let cs = Array.make (max total 1) 0 in
+    let any = Array.make (max total 1) 0 and all = Array.make (max total 1) 0 in
     let k = ref 0 in
-    for s = 0 to nst - 1 do
-      let m = minterm_of_code sg s in
+    let add m e =
       match Hashtbl.find_opt idx m with
       | Some i ->
-          any.(i) <- any.(i) lor exc.(s);
-          all.(i) <- all.(i) land exc.(s)
+          any.(i) <- any.(i) lor e;
+          all.(i) <- all.(i) land e
       | None ->
           let i = !k in
           Hashtbl.add idx m i;
           cs.(i) <- m;
-          any.(i) <- exc.(s);
-          all.(i) <- exc.(s);
+          any.(i) <- e;
+          all.(i) <- e;
           incr k
+    in
+    for s = 0 to nst - 1 do
+      add (minterm_of_code sg s) exc.(s)
     done;
+    if ghosts then Sg.iter_ghosts sg add;
     let order = Array.init !k Fun.id in
     Array.sort (fun i j -> Int.compare cs.(i) cs.(j)) order;
     {
@@ -140,8 +184,6 @@ let sop_sets x sigid =
     else off := m :: !off
   done;
   (!on, !off, !conflicts)
-
-let on_off_sets sg sigid = sop_sets (extract sg) sigid
 
 (* Set/reset networks for the generalized C-element:
    S: ON over ER(a+), OFF over stable-0 states and ER(a-);
@@ -175,14 +217,14 @@ let gc_sets_x x sigid =
   done;
   (!s_on, !s_off, !r_on, !r_off, !conflicts)
 
-let wire_like nsig sigid cover =
+(* A single positive literal of another signal: the cube's positively
+   bound variables are [care land value], so no per-variable scan. *)
+let wire_like sigid cover =
   match cover with
   | [ c ] ->
       Boolf.Cube.literals c = 1
       && (not (Boolf.Cube.bound c sigid))
-      && List.exists
-           (fun v -> Boolf.Cube.bound c v && Boolf.Cube.polarity c v)
-           (List.init nsig Fun.id)
+      && c.Boolf.Cube.care land c.Boolf.Cube.value <> 0
   | [] | _ :: _ :: _ -> false
 
 let synthesize_signal_sop x sg sigid =
@@ -194,7 +236,7 @@ let synthesize_signal_sop x sg sigid =
     signal = sigid;
     driver = Sop cover;
     conflict_codes;
-    is_wire = wire_like nsig sigid cover;
+    is_wire = wire_like sigid cover;
     is_constant;
   }
 
@@ -212,17 +254,19 @@ let synthesize_signal_gc x sg sigid =
   }
 
 let non_input_signals sg =
-  let nsig = Stg.n_signals (Sg.stg sg) in
-  List.filter
-    (fun i -> not (Stg.Signal.is_input (Stg.signal (Sg.stg sg) i)))
-    (List.init nsig Fun.id)
+  let stg = Sg.stg sg in
+  let acc = ref [] in
+  for i = Stg.n_signals stg - 1 downto 0 do
+    if not (Stg.Signal.is_input (Stg.signal stg i)) then acc := i :: !acc
+  done;
+  !acc
 
 let c_synthesize = Obs.Counter.make "logic.synthesize.calls"
 
 let synthesize ?(style = `Complex_gate) sg =
   Obs.Counter.incr c_synthesize;
   Obs.span "logic.synthesize" (fun () ->
-      let x = extract sg in
+      let x = extract ~ghosts:false sg in
       let per_signal =
         match style with
         | `Complex_gate ->
@@ -275,9 +319,9 @@ let eval_signal ~memo ~nsig sigid (on, off, conflicts) =
     ps_literals = Boolf.Cover.literals cover;
   }
 
-let evaluate ?(conflict_penalty = 4) ?(memo = true) sg =
+let evaluate_gen ~conflict_penalty ~memo ~ghosts sg =
   let nsig = Stg.n_signals (Sg.stg sg) in
-  let x = extract sg in
+  let x = extract ~ghosts sg in
   let sigs =
     List.map
       (fun sigid -> eval_signal ~memo ~nsig sigid (sop_sets x sigid))
@@ -285,14 +329,19 @@ let evaluate ?(conflict_penalty = 4) ?(memo = true) sg =
   in
   eval_of_sigs ~penalty:conflict_penalty sigs
 
-let estimate ?(conflict_penalty = 4) sg =
-  (evaluate ~conflict_penalty ~memo:false sg).e_total
+let evaluate ?(conflict_penalty = 4) ?(memo = true) sg =
+  evaluate_gen ~conflict_penalty ~memo ~ghosts:true sg
+
+let estimate ?(conflict_penalty = 4) ?(ghosts = true) sg =
+  (evaluate_gen ~conflict_penalty ~memo:false ~ghosts sg).e_total
 
 (* Delta-reuse accounting (process-global, all domains combined). *)
 let delta_inherited = Atomic.make 0
 let delta_recomputed = Atomic.make 0
 let c_delta_inherited = Obs.Counter.make "logic.delta.inherited"
 let c_delta_recomputed = Obs.Counter.make "logic.delta.recomputed"
+let c_support_hit = Obs.Counter.make "logic.delta.support_hit"
+let c_support_miss = Obs.Counter.make "logic.delta.support_miss"
 
 type delta_stats = { inherited : int; recomputed : int }
 
@@ -303,58 +352,179 @@ let reset_delta_stats () =
   Atomic.set delta_inherited 0;
   Atomic.set delta_recomputed 0
 
+(* The code universe of a derived SG's cost-side extraction is the
+   parent's (surviving states keep their codes, pruned states stay as
+   ghosts), and only the changed rows' contributions lost bits — so a
+   support-hit signal's (ON, OFF, conflicts) triple differs from the
+   parent's at most at the {e affected codes}: the codes of the changed
+   rows.  [affected_aggregates] recomputes the child's (any, all)
+   excitation aggregates for those codes only — one pass over the packed
+   code array with a successor-row scan per member state, plus the ghost
+   list.  No hashing and no sort of the full universe. *)
+let affected_aggregates ~delta sg =
+  let stg = Sg.stg sg in
+  let rows = delta.Sg.rows_changed in
+  let nr = Array.length rows in
+  let tmp = Array.make nr 0 in
+  let nc = ref 0 in
+  for i = 0 to nr - 1 do
+    let c = Sg.code_bits sg rows.(i) in
+    let dup = ref false in
+    for j = 0 to !nc - 1 do
+      if tmp.(j) = c then dup := true
+    done;
+    if not !dup then begin
+      tmp.(!nc) <- c;
+      incr nc
+    end
+  done;
+  let nc = !nc in
+  let codes = Array.sub tmp 0 nc in
+  Array.sort Int.compare codes;
+  let idx c =
+    let lo = ref 0 and hi = ref (nc - 1) and r = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if codes.(mid) = c then begin
+        r := mid;
+        lo := !hi + 1
+      end
+      else if codes.(mid) < c then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !r
+  in
+  let any = Array.make nc 0 and all = Array.make nc (-1) in
+  let fold j e =
+    any.(j) <- any.(j) lor e;
+    all.(j) <- all.(j) land e
+  in
+  for s = 0 to Sg.n_states sg - 1 do
+    let j = idx (Sg.code_bits sg s) in
+    if j >= 0 then begin
+      let e = ref 0 in
+      Sg.iter_succ sg s (fun tr _ ->
+          match Stg.label stg tr with
+          | Stg.Edge (sid, _) -> e := !e lor (1 lsl sid)
+          | Stg.Dummy _ -> ());
+      fold j !e
+    end
+  done;
+  Sg.iter_ghosts sg (fun c e ->
+      let j = idx c in
+      if j >= 0 then fold j e);
+  (codes, any, all)
+
+(* Patch one support-hit signal's triple at the affected codes.  Every
+   affected code is in the parent's universe (its row survived with its
+   code) and classified there as ON, OFF or conflicting; the lists being
+   sorted ascending lets one merge walk strip the affected codes while
+   recording the old class, and another splice the new classes back in.
+   Returns [None] when no affected code changed class for this signal —
+   the triple is bit-for-bit the parent's. *)
+let patch_sig ~codes ~any ~all ps =
+  let k = ps.ps_signal in
+  let nc = Array.length codes in
+  (* New class per affected code: 0 = OFF, 1 = ON, 2 = conflict. *)
+  let cls = Array.make nc 0 in
+  for j = 0 to nc - 1 do
+    let c = codes.(j) in
+    let v = (c lsr k) land 1 in
+    let anyk = (any.(j) lsr k) land 1 in
+    let allk = (all.(j) lsr k) land 1 in
+    let has1 = if v = 1 then allk = 0 else anyk = 1 in
+    let has0 = if v = 1 then anyk = 1 else allk = 0 in
+    cls.(j) <- (if has0 && has1 then 2 else if has1 then 1 else 0)
+  done;
+  (* Affected codes absent from both parent lists were conflicting. *)
+  let old_cls = Array.make nc 2 in
+  let strip which lst =
+    let rec go j lst acc =
+      match lst with
+      | [] -> List.rev acc
+      | m :: tl ->
+          let j = ref j in
+          while !j < nc && codes.(!j) < m do
+            incr j
+          done;
+          if !j < nc && codes.(!j) = m then begin
+            old_cls.(!j) <- which;
+            go !j tl acc
+          end
+          else go !j tl (m :: acc)
+    in
+    go 0 lst []
+  in
+  let on = strip 1 ps.ps_on in
+  let off = strip 0 ps.ps_off in
+  let changed = ref false in
+  for j = 0 to nc - 1 do
+    if cls.(j) <> old_cls.(j) then changed := true
+  done;
+  if not !changed then None
+  else begin
+    let splice which lst =
+      let rec go j lst acc =
+        if j >= nc then List.rev_append acc lst
+        else if cls.(j) <> which then go (j + 1) lst acc
+        else
+          match lst with
+          | m :: tl when m < codes.(j) -> go j tl (m :: acc)
+          | _ -> go (j + 1) lst (codes.(j) :: acc)
+      in
+      go 0 lst []
+    in
+    let conflicts = ref ps.ps_conflicts in
+    for j = 0 to nc - 1 do
+      if old_cls.(j) = 2 then decr conflicts;
+      if cls.(j) = 2 then incr conflicts
+    done;
+    Some (splice 1 on, splice 0 off, !conflicts)
+  end
+
 (* Incremental evaluation of an SG built by an arc filter from [parent]'s
    SG ({!Sg.filter_arcs_delta} via {!Reduction.fwd_red_built}).
 
-   Soundness of the reuse (see DESIGN.md, "Incremental logic cost"):
-
-   - [delta.pruned = 0]: every parent state survived with its code, and the
-     only arcs removed carry the [dropped] label.  Per-state excitation is
-     unchanged for every signal other than [dropped]'s, so the per-code
-     (code, next-value) aggregation — hence the ON/OFF sets and conflict
-     count — of those signals is bit-for-bit the parent's: inherit their
-     covers blindly and re-derive only [dropped]'s signal (no signal at
-     all when [dropped] is a dummy).
-
-   - [delta.pruned > 0]: a vanished code enlarges the don't-care set of
-     EVERY signal (and can flip a conflict classification), so no signal
-     may be inherited blindly.  The cheap one-sweep extraction re-derives
-     every signal's (ON, OFF, conflicts); a signal whose triple equals the
-     parent's inherits the parent's cover (valid because [Boolf.minimize]
-     is a deterministic function of the triple), the rest go through the
-     memoized minimizer. *)
-let estimate_delta ~parent ~dropped ~delta sg =
+   Soundness of the blind reuse (see DESIGN.md, "Per-signal support
+   tracking"): the cost-side extraction aggregates the multiset of
+   (code, excited-mask) contributions of the live states AND the ghosts,
+   and the child's multiset differs from the parent's exactly in the bits
+   the changed surviving rows lost — pruned states keep contributing their
+   frozen parent-side pair.  [delta.support] is the union of those lost
+   bits, so every signal outside it has bit-for-bit the parent's per-code
+   (any, all) aggregates: its (ON, OFF, conflicts) triple and cover are
+   inherited without looking at [sg].  Support-hit signals are patched at
+   the affected codes only ([affected_aggregates]/[patch_sig]); a hit
+   whose classes all survive still inherits the parent's cover
+   ([Boolf.minimize] is a deterministic function of the triple), the rest
+   go through the memoized minimizer.  [support = -1] (more than 62
+   signals — no tracking) degrades to re-deriving every signal from a
+   full extraction. *)
+let estimate_delta ~parent ~dropped:_ ~delta sg =
   let nsig = Stg.n_signals (Sg.stg sg) in
   let inherited = ref 0 and recomputed = ref 0 in
+  let support_hit = ref 0 and support_miss = ref 0 in
+  let support = delta.Sg.support in
+  let in_support ps = support < 0 || (support lsr ps.ps_signal) land 1 = 1 in
   let result =
-    if delta.Sg.pruned = 0 then
-      match dropped with
-      | Stg.Dummy _ ->
-          inherited := List.length parent.e_sigs;
-          parent
-      | Stg.Edge (sid, _) ->
-          let sigs =
-            List.map
-              (fun ps ->
-                if ps.ps_signal <> sid then begin
-                  incr inherited;
-                  ps
-                end
-                else begin
-                  incr recomputed;
-                  eval_signal ~memo:true ~nsig sid (on_off_sets sg sid)
-                end)
-              parent.e_sigs
-          in
-          eval_of_sigs ~penalty:parent.e_penalty sigs
-    else begin
-      let x = extract sg in
+    if not (List.exists in_support parent.e_sigs) then begin
+      (* No evaluated signal intersects the support: the whole evaluation
+         is the parent's, [sg] is never even scanned. *)
+      let k = List.length parent.e_sigs in
+      inherited := k;
+      support_miss := k;
+      parent
+    end
+    else if support < 0 then begin
+      (* No support tracking: re-derive every signal from scratch,
+         inheriting covers on triple equality. *)
+      let x = extract ~ghosts:true sg in
       let sigs =
         List.map
           (fun ps ->
+            incr support_hit;
             let ((on, off, conflicts) as sets) = sop_sets x ps.ps_signal in
-            if
-              conflicts = ps.ps_conflicts && on = ps.ps_on && off = ps.ps_off
+            if conflicts = ps.ps_conflicts && on = ps.ps_on && off = ps.ps_off
             then begin
               incr inherited;
               ps
@@ -362,6 +532,31 @@ let estimate_delta ~parent ~dropped ~delta sg =
             else begin
               incr recomputed;
               eval_signal ~memo:true ~nsig ps.ps_signal sets
+            end)
+          parent.e_sigs
+      in
+      eval_of_sigs ~penalty:parent.e_penalty sigs
+    end
+    else begin
+      let codes, any, all = affected_aggregates ~delta sg in
+      let sigs =
+        List.map
+          (fun ps ->
+            if not (in_support ps) then begin
+              incr inherited;
+              incr support_miss;
+              ps
+            end
+            else begin
+              incr support_hit;
+              match patch_sig ~codes ~any ~all ps with
+              | None ->
+                  incr inherited;
+                  ps
+              | Some (on, off, conflicts) ->
+                  incr recomputed;
+                  eval_signal ~memo:true ~nsig ps.ps_signal
+                    (on, off, conflicts)
             end)
           parent.e_sigs
       in
@@ -376,6 +571,8 @@ let estimate_delta ~parent ~dropped ~delta sg =
     ignore (Atomic.fetch_and_add delta_recomputed !recomputed);
     Obs.Counter.add c_delta_recomputed !recomputed
   end;
+  if !support_hit > 0 then Obs.Counter.add c_support_hit !support_hit;
+  if !support_miss > 0 then Obs.Counter.add c_support_miss !support_miss;
   result
 
 let gate_cost_2input = 16
@@ -400,14 +597,21 @@ let cover_area cover =
           0 cover
       in
       let or_gates = List.length cover - 1 in
-      (* Inverters: one per variable used in negative polarity anywhere. *)
+      (* Inverters: one per variable used in negative polarity anywhere.
+         A cube's negatively bound variables are [care land lnot value],
+         so the union over the cover and a popcount cover exactly the
+         variables actually present — no fixed scan range to outgrow. *)
+      let neg =
+        List.fold_left
+          (fun acc c ->
+            acc lor (c.Boolf.Cube.care land lnot c.Boolf.Cube.value))
+          0 cover
+      in
       let neg_vars = ref 0 in
-      for v = 0 to 61 do
-        if
-          List.exists
-            (fun c -> Boolf.Cube.bound c v && not (Boolf.Cube.polarity c v))
-            cover
-        then incr neg_vars
+      let m = ref neg in
+      while !m <> 0 do
+        m := !m land (!m - 1);
+        incr neg_vars
       done;
       ((and_gates + or_gates) * gate_cost_2input)
       + (!neg_vars * gate_cost_inverter)

@@ -57,8 +57,17 @@ val excited : Sg.t -> Sg.state -> int -> bool
     count of the minimized complex-gate covers plus [conflict_penalty] per
     conflicting code (default 4 literals, so unresolved CSC is never
     free).  Always computed from scratch with the unmemoized minimizer —
-    the reference the incremental paths below are tested against. *)
-val estimate : ?conflict_penalty:int -> Sg.t -> int
+    the reference the incremental paths below are tested against.
+
+    Like {!evaluate}, the cost-side extraction folds the SG's ghost
+    contributions ({!Sg.n_ghosts}) into its per-code aggregates: on a
+    graph derived by pruning reductions the measure is taken against the
+    lineage-stable don't-care universe, not just the surviving codes (it
+    can therefore exceed the measure of a fresh regeneration of the same
+    graph).  [~ghosts:false] measures the reachable-code (synthesis)
+    semantics instead — what {!synthesize} sees; final equations and
+    areas always keep the paper's reachable-code semantics. *)
+val estimate : ?conflict_penalty:int -> ?ghosts:bool -> Sg.t -> int
 
 (** {2 Incremental evaluation}
 
@@ -97,25 +106,33 @@ val total : eval -> int
 val evaluate : ?conflict_penalty:int -> ?memo:bool -> Sg.t -> eval
 
 (** [estimate_delta ~parent ~dropped ~delta sg] — evaluate [sg], an SG
-    built from [parent]'s graph by an arc filter that removed only arcs
-    labelled [dropped] (as {!Reduction.fwd_red_built} does), reusing
-    [parent]'s per-signal results wherever sound:
+    built from [parent]'s graph by an arc filter (as
+    {!Reduction.fwd_red_built} does), reusing [parent]'s per-signal
+    results wherever sound.  [delta.support] bounds the signals whose
+    cost-side aggregates can differ from the parent's (pruned states stay
+    in the extraction as ghosts, so the bound is exact — DESIGN.md,
+    "Per-signal support tracking"):
 
-    - when [delta.pruned = 0], every signal except [dropped]'s is inherited
-      without looking at [sg] (state set, codes and non-[dropped]
-      excitation are unchanged);
-    - when states were pruned, every signal's sets are re-derived by the
-      one-sweep extraction (cheap) and the parent's {e cover} is inherited
-      exactly when the (ON, OFF, conflicts) triple is unchanged.
+    - every evaluated signal outside the support is inherited blindly,
+      without looking at [sg] — when no evaluated signal is in the
+      support, [sg] is not even extracted;
+    - support-hit signals are re-derived by the one-sweep extraction; the
+      parent's {e cover} is still inherited when the (ON, OFF, conflicts)
+      triple is unchanged, otherwise the (memoized) minimizer runs;
+    - [delta.support = -1] (no tracking past 62 signals) re-derives every
+      signal.
 
-    Uses [parent]'s conflict penalty.  Equal to [evaluate sg] field by
-    field. *)
+    [dropped] is unused (subsumed by the support mask) and kept for call
+    symmetry with the non-incremental paths.  Uses [parent]'s conflict
+    penalty.  Equal to [evaluate sg] field by field. *)
 val estimate_delta :
   parent:eval -> dropped:Stg.label -> delta:Sg.delta -> Sg.t -> eval
 
 (** Process-global counters of per-signal delta decisions: [inherited]
     signals reused the parent's cover, [recomputed] went through the
-    (memoized) minimizer. *)
+    (memoized) minimizer.  The [Obs] counters [logic.delta.support_hit]
+    and [logic.delta.support_miss] additionally split the slots by support
+    membership (misses are the blind inheritances). *)
 type delta_stats = { inherited : int; recomputed : int }
 
 val delta_stats : unit -> delta_stats

@@ -130,6 +130,133 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
+(* Streaming work sessions: one long-lived draining task per worker instead
+   of one epoch broadcast per batch.  The caller submits jobs at any time
+   and can help run them while waiting on a predicate, so producers
+   (submission) and consumers (workers) overlap freely — the primitive
+   behind the search's barrier-free level scheduling.
+
+   Memory model: a job's plain writes happen-before the bump of
+   [completed] under the session mutex; callers that additionally publish
+   per-job results through an [Atomic.t] flag get the standard
+   release/acquire pairing for [wait]'s predicate reads. *)
+module Stream = struct
+  type session = {
+    st : t;
+    sm : Mutex.t;
+    cv : Condition.t;  (** signalled on submission and on job completion *)
+    jobs_q : (unit -> unit) Queue.t;
+    mutable stolen : int;  (** jobs run by pool workers, not the caller *)
+    mutable closed : bool;
+  }
+
+  let run_one s job ~worker =
+    (* Jobs are expected to trap their own exceptions (the search wraps
+       each task); the backstop mirrors [worker_loop]'s. *)
+    (try job () with _ -> ());
+    Mutex.lock s.sm;
+    if worker then s.stolen <- s.stolen + 1;
+    Condition.broadcast s.cv;
+    Mutex.unlock s.sm
+
+  let start t =
+    let s =
+      {
+        st = t;
+        sm = Mutex.create ();
+        cv = Condition.create ();
+        jobs_q = Queue.create ();
+        stolen = 0;
+        closed = false;
+      }
+    in
+    if t.workers > 0 then begin
+      let drain () =
+        let continue = ref true in
+        while !continue do
+          Mutex.lock s.sm;
+          while (not s.closed) && Queue.is_empty s.jobs_q do
+            Condition.wait s.cv s.sm
+          done;
+          match Queue.take_opt s.jobs_q with
+          | None ->
+              (* closed and drained *)
+              Mutex.unlock s.sm;
+              continue := false
+          | Some job ->
+              Mutex.unlock s.sm;
+              run_one s job ~worker:true
+        done
+      in
+      (* Install the drain as the pool's task via the usual epoch
+         broadcast; the pool must not run [map_array] batches (or a second
+         session) until [finish]. *)
+      Mutex.lock t.m;
+      t.task <- Some drain;
+      t.epoch <- t.epoch + 1;
+      t.running <- t.workers;
+      Condition.broadcast t.work_cv;
+      Mutex.unlock t.m
+    end;
+    s
+
+  let submit s job =
+    Mutex.lock s.sm;
+    Queue.add job s.jobs_q;
+    Condition.broadcast s.cv;
+    Mutex.unlock s.sm
+
+  let help s =
+    Mutex.lock s.sm;
+    match Queue.take_opt s.jobs_q with
+    | None ->
+        Mutex.unlock s.sm;
+        false
+    | Some job ->
+        Mutex.unlock s.sm;
+        run_one s job ~worker:false;
+        true
+
+  let wait s ready =
+    let rec loop () =
+      if ready () then ()
+      else if help s then loop ()
+      else begin
+        Mutex.lock s.sm;
+        (* Re-check under the session mutex: a completion between the
+           [ready] read and the lock would otherwise be a lost wakeup. *)
+        if (not (ready ())) && Queue.is_empty s.jobs_q then
+          Condition.wait s.cv s.sm;
+        Mutex.unlock s.sm;
+        loop ()
+      end
+    in
+    loop ()
+
+  let stolen s =
+    Mutex.lock s.sm;
+    let v = s.stolen in
+    Mutex.unlock s.sm;
+    v
+
+  let finish s =
+    Mutex.lock s.sm;
+    s.closed <- true;
+    Condition.broadcast s.cv;
+    Mutex.unlock s.sm;
+    (* Help drain whatever is still queued, then wait for the workers'
+       drain loops to exit so the pool is free for the next batch. *)
+    while help s do () done;
+    if s.st.workers > 0 then begin
+      Mutex.lock s.st.m;
+      while s.st.running > 0 do
+        Condition.wait s.st.done_cv s.st.m
+      done;
+      s.st.task <- None;
+      Mutex.unlock s.st.m
+    end
+end
+
 (* Domain-local storage: each domain (the caller and every worker) gets its
    own instance, created on first access.  Memo tables stored this way are
    filled independently per domain, so no locking is needed and — provided

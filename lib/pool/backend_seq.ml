@@ -20,6 +20,34 @@ let shutdown _ = ()
    backends have structurally similar creation paths. *)
 let _ = fun t -> t.requested
 
+(* Streaming sessions on the sequential backend: a plain FIFO the caller
+   drains itself.  [wait]'s predicate must be satisfiable from already
+   submitted jobs, exactly as on the domains backend. *)
+module Stream = struct
+  type session = { q : (unit -> unit) Queue.t }
+
+  let start _ = { q = Queue.create () }
+  let submit s job = Queue.add job s.q
+
+  let help s =
+    match Queue.take_opt s.q with
+    | None -> false
+    | Some job ->
+        (try job () with _ -> ());
+        true
+
+  let wait s ready =
+    let progress = ref true in
+    while (not (ready ())) && !progress do
+      progress := help s
+    done;
+    if not (ready ()) then
+      invalid_arg "Pool.Stream.wait: predicate needs jobs never submitted"
+
+  let stolen _ = 0
+  let finish s = while help s do () done
+end
+
 (* "Domain-local" storage on the sequential backend: there is only one
    domain, so a lazily created single instance has the same semantics. *)
 module Dls = struct

@@ -52,6 +52,55 @@ val shutdown : t -> unit
 (** [with_pool ~jobs f] — {!create}, run [f], always {!shutdown}. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 
+(** Streaming work sessions — the barrier-free alternative to
+    {!map_array}.  A session turns every pool worker into a long-lived
+    consumer of one FIFO job queue: the caller {!Stream.submit}s thunks at
+    any time, {!Stream.help}s run them itself, and {!Stream.wait}s on a
+    result predicate while staying work-conserving.  Because submission
+    and execution overlap, a producer that learns of new work while
+    earlier jobs are still running (the reduction search merging one beam
+    level while the next level's candidates evaluate) never re-parks the
+    workers between waves.
+
+    Protocol: {!Stream.start} occupies the pool — no {!map_array} batch
+    and no second session may run until {!Stream.finish}.  Jobs must trap
+    their own exceptions and publish their results through memory the
+    caller polls via {!Stream.wait}'s predicate (idiomatically: plain
+    writes followed by an [Atomic.set] flag, read back with [Atomic.get]);
+    a job that escapes with an exception is swallowed by the backstop and
+    its results are simply absent.  [wait]'s predicate must be satisfiable
+    by already submitted jobs, else the sequential backend raises and the
+    domains backend can block.  The scheduling is dynamic, so only
+    {e which} domain runs a job varies between runs — determinism is the
+    caller's in-order merge, exactly as with {!map_array}. *)
+module Stream : sig
+  type session
+
+  (** Open a session and put every worker into job-draining mode. *)
+  val start : t -> session
+
+  (** Enqueue a job.  Wakes a parked worker (or the waiting caller). *)
+  val submit : session -> (unit -> unit) -> unit
+
+  (** Run one queued job in the caller; [false] if the queue was empty. *)
+  val help : session -> bool
+
+  (** [wait s ready] blocks until [ready ()]; while waiting the caller
+      runs queued jobs ([help]) and otherwise sleeps until a completion
+      or submission signal.  [ready] may be called many times and from
+      under the session lock — keep it cheap and side-effect free. *)
+  val wait : session -> (unit -> bool) -> unit
+
+  (** Number of jobs executed by pool workers (not the caller) so far —
+      always [0] on the sequential backend.  Feeds the [search.steal]
+      counter. *)
+  val stolen : session -> int
+
+  (** Drain remaining jobs, stop the workers' draining loops and release
+      the pool for the next batch or session. *)
+  val finish : session -> unit
+end
+
 (** Domain-local storage with a sequential fallback: on the domains backend
     this is [Domain.DLS] (one instance per domain, created on first
     access), on the sequential backend a single lazily created instance.

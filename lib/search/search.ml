@@ -104,6 +104,10 @@ let c_deduped = Obs.Counter.make "search.deduped"
 let c_infeasible = Obs.Counter.make "search.infeasible"
 let c_levels = Obs.Counter.make "search.levels"
 
+(* Candidate tasks executed by pool workers rather than the searching
+   domain (0 in sequential runs and on the sequential backend). *)
+let c_steal = Obs.Counter.make "search.steal"
+
 let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle
     ?(eval_mode = `Delta) sg0 =
@@ -151,14 +155,26 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
   let frontier = ref [ initial ] in
   let levels = ref 0 in
   let fanout = ref [] in
-  let parallel = match pool with Some p -> Pool.jobs p > 1 | None -> false in
+  (* One streaming session spans the whole search: workers go into
+     job-draining mode once and never re-park between beam levels.  The
+     caller merges each level in task order (determinism) while later
+     tasks of the same level still evaluate on the workers — the
+     [map_array] end-of-batch barrier is gone. *)
+  let session =
+    match pool with
+    | Some p when Pool.jobs p > 1 -> Some (Pool.Stream.start p)
+    | Some _ | None -> None
+  in
+  let parallel = Option.is_some session in
   (* Evaluate one candidate FwdRed(a, b) of [cfg]: build, dedup by
-     signature against [seen], validate (Def. 5.1), price.  During a
-     parallel level [seen] is a frozen snapshot (merge writes happen only
-     after the batch), so the dedup read is race-free; skipping validation
-     for an already-seen candidate is sound because the checks are a
-     deterministic function of (source, candidate). *)
-  let eval_task (cfg, a, b) =
+     signature against [tbl], validate (Def. 5.1), price.  Sequentially
+     [tbl] is the live [seen] table; during a streamed level it is a
+     level-start snapshot (the caller mutates [seen] while workers run),
+     so the dedup read is race-free and intra-level duplicates are left
+     for the merge to drop.  Skipping validation for an already-seen
+     candidate is sound because the checks are a deterministic function
+     of (source, candidate). *)
+  let eval_task tbl (cfg, a, b) =
     Obs.Counter.incr c_candidates;
     Obs.span "search.candidate" @@ fun () ->
     match Reduction.fwd_red_built cfg.sg ~a ~b with
@@ -167,7 +183,7 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
         Dropped
     | Ok built -> (
         let key = Sg.signature built.Reduction.cand in
-        if Hashtbl.mem seen key then begin
+        if Hashtbl.mem tbl key then begin
           Obs.Counter.incr c_deduped;
           Dropped
         end
@@ -189,6 +205,7 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
               Obs.Counter.incr c_rejected;
               Dropped)
   in
+  let run_levels () =
   while !frontier <> [] && !levels < max_levels do
     incr levels;
     Obs.Counter.incr c_levels;
@@ -229,17 +246,47 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
                 | Some _ | None -> best := Some cfg');
                 merged := cfg' :: !merged
           end
+          else
+            (* Streamed intra-level duplicate: the worker only saw the
+               level-start snapshot, so the merge is the first to notice.
+               Keeps the one-count-per-candidate invariant in line with
+               sequential runs (unreachable sequentially: [eval_task]
+               checked the live table just before). *)
+            Obs.Counter.incr c_deduped
     in
-    (match pool with
-    | Some p when Pool.jobs p > 1 ->
-        Array.iter merge (Pool.map_array p eval_task tasks)
-    | Some _ | None ->
+    (match session with
+    | Some s ->
+        (* Streamed level: submit every task, then merge in task order,
+           helping with unfinished tasks while waiting.  Results are
+           published by plain slot write then [Atomic.set] on the task's
+           flag; the merge of task [i] overlaps the evaluation of tasks
+           [> i].  [err] mirrors [Pool.map_array]'s drain-then-reraise
+           exception contract. *)
+        let n = Array.length tasks in
+        let snapshot = Hashtbl.copy seen in
+        let slots = Array.make n Dropped in
+        let flags = Array.init n (fun _ -> Atomic.make false) in
+        let err = Atomic.make None in
+        Array.iteri
+          (fun i t ->
+            Pool.Stream.submit s (fun () ->
+                (try slots.(i) <- eval_task snapshot t
+                 with e ->
+                   ignore (Atomic.compare_and_set err None (Some e)));
+                Atomic.set flags.(i) true))
+          tasks;
+        for i = 0 to n - 1 do
+          Pool.Stream.wait s (fun () -> Atomic.get flags.(i));
+          merge slots.(i)
+        done;
+        (match Atomic.get err with Some e -> raise e | None -> ())
+    | None ->
         (* Sequential: interleave evaluation and merge so intra-level
            duplicates skip validation via the live [seen] table (the PR 1
            dedup-before-validate optimization).  Outcome-equivalent to the
-           batch path: the extra skips only avoid recomputing verdicts the
-           merge would discard anyway. *)
-        Array.iter (fun t -> merge (eval_task t)) tasks);
+           streamed path: the extra skips only avoid recomputing verdicts
+           the merge would discard anyway. *)
+        Array.iter (fun t -> merge (eval_task seen t)) tasks);
     let sorted =
       List.stable_sort
         (fun c1 c2 -> compare c1.cost c2.cost)
@@ -247,7 +294,15 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     in
     frontier := List.filteri (fun i _ -> i < size_frontier) sorted;
     Obs.span_end "search.level"
-  done;
+  done
+  in
+  (match session with
+  | Some s ->
+      Fun.protect run_levels ~finally:(fun () ->
+          Pool.Stream.finish s;
+          let k = Pool.Stream.stolen s in
+          if k > 0 then Obs.Counter.add c_steal k)
+  | None -> run_levels ());
   let best, feasible =
     match !best with
     | Some b -> ({ b with applied = List.rev b.applied }, true)

@@ -43,6 +43,9 @@ type cache = {
   mutable c_arc_labels : (Stg.label * Petri.trans list) list option;
   mutable c_signature : string option;
   mutable c_csc_count : int option;
+  mutable c_csc_groups : (int, (int, int) Hashtbl.t) Hashtbl.t option;
+      (** packed code -> (controlled enabled mask -> state count); the
+          census behind the incremental CSC count of derived candidates *)
   mutable c_persistent : bool option;
 }
 
@@ -57,6 +60,7 @@ let fresh_cache () =
     c_arc_labels = None;
     c_signature = None;
     c_csc_count = None;
+    c_csc_groups = None;
     c_persistent = None;
   }
 
@@ -72,6 +76,12 @@ type t = {
   arc_dst : int array;
   initial : state;
   unconstrained : int list;
+  g_codes : int array;
+      (** ghost contributions: packed codes of states pruned anywhere along
+          the filter lineage, frozen at pruning time (empty unless derived
+          by a pruning filter; only collected when [nsig <= 62]) *)
+  g_excs : int array;
+      (** excited-signal masks of the ghosts, parallel to [g_codes] *)
   cache : cache;
 }
 
@@ -136,6 +146,16 @@ let code_bits sg s =
   if sg.nsig > 62 then
     invalid_arg "Sg.code_bits: more than 62 signals";
   sg.codes.(s)
+
+(* ------------------------------------------------------------------ *)
+(* Ghost contributions *)
+
+let n_ghosts sg = Array.length sg.g_codes
+
+let iter_ghosts sg f =
+  for i = 0 to Array.length sg.g_codes - 1 do
+    f sg.g_codes.(i) sg.g_excs.(i)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Reverse arcs *)
@@ -371,6 +391,8 @@ module Builder = struct
       arc_dst;
       initial;
       unconstrained;
+      g_codes = [||];
+      g_excs = [||];
       cache = fresh_cache ();
     }
 end
@@ -382,6 +404,8 @@ let default_warn msg = Printf.eprintf "sg: warning: %s\n%!" msg
 let c_of_stg = Obs.Counter.make "sg.of_stg.calls"
 let c_of_stg_states = Obs.Counter.make "sg.of_stg.states"
 let c_filter_arcs = Obs.Counter.make "sg.filter_arcs.calls"
+let c_csc_preset = Obs.Counter.make "sg.csc.preset"
+let c_csc_scratch = Obs.Counter.make "sg.csc.scratch"
 
 (* A state is a (marking, signal parity) pair: an STG with toggle events
    (2-phase refinements) revisits markings with flipped signal values, which
@@ -509,13 +533,112 @@ let of_stg ?budget ?initial_values ?warn stg =
       | Error _ -> ());
       r)
 
-type delta = { rows_changed : state array; pruned : int }
+type delta = { rows_changed : state array; pruned : int; support : int }
 
 (* Rebuild keeping only the arcs [keep] accepts, pruning states no longer
    reachable from the initial state and renumbering in BFS order.  This is
    the hot path of the reduction search (one call per candidate): [keep]
    runs once per arc, codes and markings are copied row-wise, arcs go
    straight into the new CSR arrays — no per-state allocation. *)
+let label_is_controlled stg lab =
+  (* outputs and internal signals must be persistent everywhere *)
+  match lab with
+  | Stg.Edge (sigid, _) -> not (Stg.Signal.is_input (Stg.signal stg sigid))
+  | Stg.Dummy _ -> false
+
+(* One pass over the arcs: number the distinct labels, record each
+   transition's label bit, OR the bits into per-state enabled masks.
+   Deduplication is free (OR is idempotent), so this is much cheaper than
+   [enabled_arrays] and is what the hot validity checks read. *)
+let enmask sg =
+  match sg.cache.c_enmask with
+  | Some e -> e
+  | None ->
+      let em_tr = Array.make (max 1 (Petri.n_trans sg.stg.Stg.net)) (-1) in
+      let idx = Hashtbl.create 16 in
+      let next = ref 0 in
+      let overflow = ref false in
+      (try
+         Array.iter
+           (fun tr ->
+             if em_tr.(tr) < 0 then begin
+               let lab = Stg.label sg.stg tr in
+               let i =
+                 match Hashtbl.find_opt idx lab with
+                 | Some i -> i
+                 | None ->
+                     let i = !next in
+                     if i >= bits_per_word - 1 then raise Exit;
+                     Hashtbl.add idx lab i;
+                     incr next;
+                     i
+               in
+               em_tr.(tr) <- i
+             end)
+           sg.arc_tr
+       with Exit -> overflow := true);
+      let e =
+        if !overflow then None
+        else begin
+          let em_state = Array.make sg.n 0 in
+          for s = 0 to sg.n - 1 do
+            let m = ref 0 in
+            for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+              m := !m lor (1 lsl em_tr.(sg.arc_tr.(k)))
+            done;
+            em_state.(s) <- !m
+          done;
+          let ctl = ref 0 in
+          Hashtbl.iter
+            (fun lab i ->
+              if label_is_controlled sg.stg lab then ctl := !ctl lor (1 lsl i))
+            idx;
+          Some { em_state; em_ctl = !ctl; em_tr }
+        end
+      in
+      sg.cache.c_enmask <- Some e;
+      e
+
+(* Per-code census of controlled-enabled masks — the base data of the
+   incremental CSC-conflict count.  [groups.(code)] maps each distinct
+   controlled mask (in this SG's [enmask] bit numbering) to the number of
+   states carrying it; a code's conflict-pair count is then
+   [C(n,2) - sum_m C(cnt_m,2)].  Built once per frontier configuration and
+   read by every candidate filter, so the lazy cache is shared exactly
+   like the other analyses.  Only defined on the packed-code path
+   ([wps = 1] and a packed [enmask]). *)
+let csc_groups sg (em : enmask) =
+  match sg.cache.c_csc_groups with
+  | Some g -> g
+  | None ->
+      let g = Hashtbl.create (max 16 sg.n) in
+      for s = 0 to sg.n - 1 do
+        let code = sg.codes.(s) in
+        let mask = em.em_state.(s) land em.em_ctl in
+        let t =
+          match Hashtbl.find_opt g code with
+          | Some t -> t
+          | None ->
+              let t = Hashtbl.create 4 in
+              Hashtbl.add g code t;
+              t
+        in
+        Hashtbl.replace t mask
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t mask))
+      done;
+      sg.cache.c_csc_groups <- Some g;
+      g
+
+(* Conflict pairs inside one code group: every cross-mask pair. *)
+let group_pairs t =
+  let n = ref 0 and same = ref 0 in
+  Hashtbl.iter
+    (fun _ c ->
+      n := !n + c;
+      same := !same + (c * (c - 1) / 2))
+    t;
+  (!n * (!n - 1) / 2) - !same
+
 let filter_arcs_delta sg ~keep =
   (* Counter only — this runs once per search candidate, so even a span's
      closure allocation is unwelcome on the disabled fast path. *)
@@ -552,28 +675,150 @@ let filter_arcs_delta sg ~keep =
   let old_of_new = if n = n_old then old_of_new else Array.sub old_of_new 0 n in
   let noff = Array.make (n + 1) 0 in
   (* Codes are copied verbatim below, so a surviving state differs from its
-     source state exactly when its successor row lost an arc. *)
+     source state exactly when its successor row lost an arc.  While
+     counting kept arcs we also fold each row's excited-signal masks over
+     all vs kept arcs: the union over changed rows of the lost bits is the
+     delta's signal [support] — under the frozen-ghost extraction
+     semantics, the only signals whose per-code ON/OFF aggregates can
+     differ from the source graph's (DESIGN.md, "Per-signal support
+     tracking").  Tracking is gated on codes fitting one word; past 62
+     signals the sentinel [-1] tells consumers to recompute everything. *)
+  let track = sg.nsig <= 62 in
+  let support = ref 0 in
   let changed = ref [] and n_changed = ref 0 in
   for s_new = n - 1 downto 0 do
     let s = old_of_new.(s_new) in
     let c = ref 0 in
+    let exc_all = ref 0 and exc_kept = ref 0 in
     for k = sg.off.(s) to sg.off.(s + 1) - 1 do
-      if Bytes.get kept k = '\001' then incr c
+      let kept_k = Bytes.get kept k = '\001' in
+      if kept_k then incr c;
+      if track then
+        match Stg.label sg.stg sg.arc_tr.(k) with
+        | Stg.Edge (sid, _) ->
+            let bit = 1 lsl sid in
+            exc_all := !exc_all lor bit;
+            if kept_k then exc_kept := !exc_kept lor bit
+        | Stg.Dummy _ -> ()
     done;
     noff.(s_new + 1) <- !c;
     if !c < sg.off.(s + 1) - sg.off.(s) then begin
       changed := s_new :: !changed;
-      incr n_changed
+      incr n_changed;
+      support := !support lor (!exc_all land lnot !exc_kept)
     end
   done;
+  let pruned = n_old - n in
   let delta =
     {
       rows_changed =
         (let a = Array.make !n_changed 0 in
          List.iteri (fun i s -> a.(i) <- s) !changed;
          a);
-      pruned = n_old - n;
+      pruned;
+      support = (if track then !support else -1);
     }
+  in
+  (* Freeze the pruned states' source-side contributions as ghosts: their
+     codes and excited-signal masks keep participating in the cost-side
+     logic extraction, which is what makes blind inheritance outside
+     [support] exact (the don't-care universe never shrinks along a
+     lineage).  Synthesis-side extraction ignores ghosts. *)
+  let g_codes, g_excs =
+    if (not track) || pruned = 0 then (sg.g_codes, sg.g_excs)
+    else begin
+      let np = Array.length sg.g_codes in
+      let gc = Array.make (np + pruned) 0 and ge = Array.make (np + pruned) 0 in
+      Array.blit sg.g_codes 0 gc 0 np;
+      Array.blit sg.g_excs 0 ge 0 np;
+      let i = ref np in
+      for s = 0 to n_old - 1 do
+        if remap.(s) = -1 then begin
+          let exc = ref 0 in
+          for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+            match Stg.label sg.stg sg.arc_tr.(k) with
+            | Stg.Edge (sid, _) -> exc := !exc lor (1 lsl sid)
+            | Stg.Dummy _ -> ()
+          done;
+          (* [track] implies wps = 1, so codes.(s) is the packed code. *)
+          gc.(!i) <- sg.codes.(s);
+          ge.(!i) <- !exc;
+          incr i
+        end
+      done;
+      (gc, ge)
+    end
+  in
+  (* Incremental CSC-conflict count: when the source graph's count and
+     packed enabled masks are already cached (true for every frontier
+     configuration — the search priced it), the candidate's count is the
+     source count plus per-code-group corrections for the pruned states
+     (leave their group) and the changed rows (controlled mask may
+     change).  Affected groups are copied on first touch from the shared
+     {!csc_groups} census, so concurrent candidate builds over one parent
+     only read the caches.  [None] falls back to the from-scratch count on
+     first use. *)
+  let csc_count =
+    if not track then None
+    else
+      match (sg.cache.c_csc_count, sg.cache.c_enmask) with
+      | Some base, Some (Some em) ->
+          if pruned = 0 && !n_changed = 0 then Some base
+          else begin
+            let groups = csc_groups sg em in
+            (* code -> (pair count before the updates, mutable copy) *)
+            let touched = Hashtbl.create 8 in
+            let touch code =
+              match Hashtbl.find_opt touched code with
+              | Some (_, t) -> t
+              | None ->
+                  let t =
+                    match Hashtbl.find_opt groups code with
+                    | Some t -> Hashtbl.copy t
+                    | None -> Hashtbl.create 4
+                  in
+                  Hashtbl.add touched code (group_pairs t, t);
+                  t
+            in
+            let remove code mask =
+              let t = touch code in
+              match Hashtbl.find_opt t mask with
+              | Some 1 -> Hashtbl.remove t mask
+              | Some c -> Hashtbl.replace t mask (c - 1)
+              | None -> ()
+            in
+            let add code mask =
+              let t = touch code in
+              Hashtbl.replace t mask
+                (1 + Option.value ~default:0 (Hashtbl.find_opt t mask))
+            in
+            if pruned > 0 then
+              for s = 0 to n_old - 1 do
+                if remap.(s) = -1 then
+                  remove sg.codes.(s) (em.em_state.(s) land em.em_ctl)
+              done;
+            List.iter
+              (fun s_new ->
+                let s = old_of_new.(s_new) in
+                let old_mask = em.em_state.(s) land em.em_ctl in
+                let nm = ref 0 in
+                for k = sg.off.(s) to sg.off.(s + 1) - 1 do
+                  if Bytes.get kept k = '\001' then
+                    nm := !nm lor (1 lsl em.em_tr.(sg.arc_tr.(k)))
+                done;
+                let new_mask = !nm land em.em_ctl in
+                if new_mask <> old_mask then begin
+                  remove sg.codes.(s) old_mask;
+                  add sg.codes.(s) new_mask
+                end)
+              !changed;
+            let d = ref 0 in
+            Hashtbl.iter
+              (fun _ (old_pairs, t) -> d := !d + group_pairs t - old_pairs)
+              touched;
+            Some (base + !d)
+          end
+      | (Some _ | None), _ -> None
   in
   for i = 1 to n do
     noff.(i) <- noff.(i) + noff.(i - 1)
@@ -596,6 +841,12 @@ let filter_arcs_delta sg ~keep =
   for s_new = 0 to n - 1 do
     Array.blit sg.codes (old_of_new.(s_new) * wps) ncodes (s_new * wps) wps
   done;
+  let cache = fresh_cache () in
+  (match csc_count with
+  | Some c ->
+      Obs.Counter.incr c_csc_preset;
+      cache.c_csc_count <- Some c
+  | None -> ());
   ( {
       sg with
       n;
@@ -605,7 +856,9 @@ let filter_arcs_delta sg ~keep =
       arc_tr = ntr;
       arc_dst = ndst;
       initial = 0;
-      cache = fresh_cache ();
+      g_codes;
+      g_excs;
+      cache;
     },
     old_of_new,
     delta )
@@ -689,65 +942,6 @@ let is_commutative sg =
   in
   let rec loop s = s >= sg.n || (ok s && loop (s + 1)) in
   loop 0
-
-let label_is_controlled stg lab =
-  (* outputs and internal signals must be persistent everywhere *)
-  match lab with
-  | Stg.Edge (sigid, _) -> not (Stg.Signal.is_input (Stg.signal stg sigid))
-  | Stg.Dummy _ -> false
-
-(* One pass over the arcs: number the distinct labels, record each
-   transition's label bit, OR the bits into per-state enabled masks.
-   Deduplication is free (OR is idempotent), so this is much cheaper than
-   [enabled_arrays] and is what the hot validity checks read. *)
-let enmask sg =
-  match sg.cache.c_enmask with
-  | Some e -> e
-  | None ->
-      let em_tr = Array.make (max 1 (Petri.n_trans sg.stg.Stg.net)) (-1) in
-      let idx = Hashtbl.create 16 in
-      let next = ref 0 in
-      let overflow = ref false in
-      (try
-         Array.iter
-           (fun tr ->
-             if em_tr.(tr) < 0 then begin
-               let lab = Stg.label sg.stg tr in
-               let i =
-                 match Hashtbl.find_opt idx lab with
-                 | Some i -> i
-                 | None ->
-                     let i = !next in
-                     if i >= bits_per_word - 1 then raise Exit;
-                     Hashtbl.add idx lab i;
-                     incr next;
-                     i
-               in
-               em_tr.(tr) <- i
-             end)
-           sg.arc_tr
-       with Exit -> overflow := true);
-      let e =
-        if !overflow then None
-        else begin
-          let em_state = Array.make sg.n 0 in
-          for s = 0 to sg.n - 1 do
-            let m = ref 0 in
-            for k = sg.off.(s) to sg.off.(s + 1) - 1 do
-              m := !m lor (1 lsl em_tr.(sg.arc_tr.(k)))
-            done;
-            em_state.(s) <- !m
-          done;
-          let ctl = ref 0 in
-          Hashtbl.iter
-            (fun lab i ->
-              if label_is_controlled sg.stg lab then ctl := !ctl lor (1 lsl i))
-            idx;
-          Some { em_state; em_ctl = !ctl; em_tr }
-        end
-      in
-      sg.cache.c_enmask <- Some e;
-      e
 
 let persistency_violations sg =
   let enabled = enabled_arrays sg in
@@ -945,6 +1139,7 @@ let csc_conflict_count sg =
   match sg.cache.c_csc_count with
   | Some c -> c
   | None ->
+      Obs.Counter.incr c_csc_scratch;
       let nsig = sg.nsig in
       let log2n =
         let k = ref 0 in
@@ -1295,7 +1490,12 @@ let force_analyses sg =
   ignore (conc_rel sg);
   ignore (arc_label_instances sg);
   ignore (is_output_persistent sg);
-  ignore (csc_conflict_count sg)
+  ignore (csc_conflict_count sg);
+  (* The census behind candidates' incremental CSC counts: built here so
+     concurrent [filter_arcs_delta] calls over this value only read it. *)
+  match enmask sg with
+  | Some em when sg.wps = 1 -> ignore (csc_groups sg em)
+  | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Output *)

@@ -75,6 +75,26 @@ val code_bits : t -> state -> int
     display format used in the paper's Fig. 1. *)
 val code_display : t -> state -> string
 
+(** {2 Ghost contributions}
+
+    Graphs produced by a pruning {!filter_arcs}/{!filter_arcs_delta} carry
+    the pruned states' (code, excited-signal mask) pairs along as
+    {e ghosts}, frozen at pruning time and accumulated over the whole
+    filter lineage.  The cost-side logic extraction
+    ({!Logic.evaluate}/{!Logic.estimate}) folds them into its per-code
+    aggregates, which keeps the don't-care universe stable along a lineage
+    and makes the {!delta} [support] bound exact; final synthesis
+    ({!Logic.synthesize}) ignores them.  Ghosts are only collected when the
+    STG has at most 62 signals (one packed word per code); both are empty
+    on freshly generated graphs. *)
+
+val n_ghosts : t -> int
+
+(** [iter_ghosts sg f] — [f code exc] for every ghost, in freezing order:
+    [code] is the packed state code (as {!code_bits}), [exc] the bitmask of
+    signals that were excited in the pruned state. *)
+val iter_ghosts : t -> (int -> int -> unit) -> unit
+
 (** {2 Arcs} *)
 
 (** Total number of arcs. *)
@@ -133,6 +153,13 @@ type delta = {
       (** new ids (ascending) of surviving states whose successor row lost
           at least one arc *)
   pruned : int;  (** number of source states that did not survive *)
+  support : int;
+      (** union, over the changed rows, of the excited-signal bits the row
+          lost (bit [i] = signal [i]).  Because pruned states stay in the
+          cost-side extraction as ghosts, a signal outside this mask has
+          exactly the source graph's per-code ON/OFF aggregates — the
+          incremental estimator inherits it blindly.  [-1] when the STG
+          has more than 62 signals (no tracking; recompute everything). *)
 }
 
 (** {!filter_arcs} plus the {!delta} report — the incremental logic

@@ -126,6 +126,137 @@ let test_logic_random () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Support tracking: [delta.support] really bounds the changing signals. *)
+
+(* For every built candidate, any signal OUTSIDE the reported support must
+   have a (ON, OFF, conflicts) triple identical to the parent's under the
+   cost-side (ghost) extraction — the soundness condition that lets
+   [Logic.estimate_delta] inherit those signals blindly (DESIGN.md,
+   "Per-signal support tracking"). *)
+let check_support_bound name stg =
+  let sg = Gen.sg_exn stg in
+  let parent = Logic.evaluate ~memo:false sg in
+  let triples e =
+    List.map
+      (fun (ps : Logic.per_sig) ->
+        (ps.Logic.ps_signal, (ps.Logic.ps_on, ps.Logic.ps_off, ps.Logic.ps_conflicts)))
+      e.Logic.e_sigs
+  in
+  let parent_triples = triples parent in
+  let try_one (a, b) =
+    match Reduction.fwd_red_built sg ~a ~b with
+    | Error _ -> ()
+    | Ok built ->
+        let d = built.Reduction.delta in
+        let step =
+          Printf.sprintf "%s FwdRed(%s,%s)" name (Stg.label_name stg a)
+            (Stg.label_name stg b)
+        in
+        Alcotest.(check bool)
+          (step ^ ": support tracked") true (d.Sg.support >= 0);
+        if d.Sg.pruned > 0 then
+          Alcotest.(check bool)
+            (step ^ ": pruning changes a surviving row")
+            true
+            (Array.length d.Sg.rows_changed > 0);
+        let child = Logic.evaluate ~memo:false built.Reduction.cand in
+        List.iter2
+          (fun (s, pt) (s', ct) ->
+            Alcotest.(check int) (step ^ ": signal order") s s';
+            if d.Sg.support land (1 lsl s) = 0 then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: signal %d outside support unchanged" step
+                   s)
+                true (pt = ct))
+          parent_triples (triples child)
+  in
+  List.iter
+    (fun (a, b) ->
+      try_one (a, b);
+      try_one (b, a))
+    (Sg.concurrent_pairs sg)
+
+let test_support_named () =
+  List.iter (fun (name, stg) -> check_support_bound name stg) (named_specs ())
+
+let test_support_random () =
+  for seed = 0 to 99 do
+    check_support_bound
+      (Printf.sprintf "seed %d" seed)
+      (Gen.random_stg ~max_signals:6 seed)
+  done
+
+(* The candidate CSC-conflict count computed incrementally at filter time
+   (from the parent's cached count and per-code census) must equal the
+   from-scratch count.  Every mode builds candidates the same way, so the
+   search-outcome differentials cannot catch a bias here: compare against
+   a candidate built from a FRESH parent (no cached count to increment),
+   and recurse one level so lineage-accumulated increments are covered. *)
+let check_csc_delta name stg =
+  let depth_budget = ref 24 in
+  (* Invariant: [warm]'s count is cached before its candidates are built
+     (so they take the incremental path, like search candidates); [cold]'s
+     candidates are built while its count is still unknown (so they can
+     only compute from scratch). *)
+  let rec go depth label (warm : Sg.t) (cold : Sg.t) =
+    ignore (Sg.csc_conflict_count warm);
+    let recs =
+      if depth = 0 then []
+      else
+        List.filter_map
+          (fun (a, b) ->
+            if !depth_budget <= 0 then None
+            else
+              match
+                ( Reduction.fwd_red_built warm ~a ~b,
+                  Reduction.fwd_red_built cold ~a ~b )
+              with
+              | Ok w, Ok c ->
+                  decr depth_budget;
+                  Some
+                    ( Printf.sprintf "%s/FwdRed(%s,%s)" label
+                        (Stg.label_name stg a) (Stg.label_name stg b),
+                      w.Reduction.cand,
+                      c.Reduction.cand )
+              | _ -> None)
+          (Sg.concurrent_pairs warm)
+    in
+    Alcotest.(check int)
+      (label ^ ": incremental csc = scratch csc")
+      (Sg.csc_conflict_count cold)
+      (Sg.csc_conflict_count warm);
+    List.iter (fun (lbl, w, c) -> go (depth - 1) lbl w c) recs
+  in
+  go 2 name (Gen.sg_exn stg) (Gen.sg_exn stg)
+
+let test_csc_delta_named () =
+  List.iter (fun (name, stg) -> check_csc_delta name stg) (named_specs ())
+
+let test_csc_delta_random () =
+  for seed = 0 to 99 do
+    check_csc_delta
+      (Printf.sprintf "seed %d" seed)
+      (Gen.random_stg ~max_signals:6 seed)
+  done
+
+(* Regression for the tentpole: on the MMU search the delta path must
+   actually reuse — at least half of the per-signal slots inherited rather
+   than re-derived.  (The measured fraction is ~0.75; the bound leaves
+   headroom for cost-model tweaks without masking a recompute-everything
+   regression.) *)
+let test_mmu_inherit_fraction () =
+  let sg = Gen.sg_exn (Expansion.four_phase Specs.mmu) in
+  Logic.reset_delta_stats ();
+  ignore (Search.optimize ~eval_mode:`Delta sg);
+  let s = Logic.delta_stats () in
+  let total = s.Logic.inherited + s.Logic.recomputed in
+  Alcotest.(check bool) "delta path exercised" true (total > 0);
+  let fraction = float_of_int s.Logic.inherited /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "inherited fraction %.3f >= 0.5" fraction)
+    true (fraction >= 0.5)
+
+(* ------------------------------------------------------------------ *)
 (* Search-level: byte-identical outcomes across evaluation modes. *)
 
 let modes = [ ("scratch", `Scratch); ("memo", `Memo); ("delta", `Delta) ]
@@ -183,6 +314,16 @@ let suite =
       test_logic_examples;
     Alcotest.test_case "logic paths agree: 100 random specs" `Slow
       test_logic_random;
+    Alcotest.test_case "support bounds changes: named specs" `Quick
+      test_support_named;
+    Alcotest.test_case "support bounds changes: 100 random specs" `Slow
+      test_support_random;
+    Alcotest.test_case "incremental csc agrees: named specs" `Quick
+      test_csc_delta_named;
+    Alcotest.test_case "incremental csc agrees: 100 random specs" `Slow
+      test_csc_delta_random;
+    Alcotest.test_case "MMU inherit fraction >= 0.5" `Quick
+      test_mmu_inherit_fraction;
     Alcotest.test_case "search modes agree: named specs" `Slow
       test_search_named;
     Alcotest.test_case "search modes agree: 100 random specs" `Slow

@@ -63,14 +63,20 @@ let test_fig1_conflicts () =
 
 let test_estimate_drops_after_reduction () =
   (* Reducing concurrency cannot increase the number of reachable codes;
-     here it resolves the conflict and the penalty disappears. *)
+     here it resolves the conflict and the penalty disappears.  Measured
+     with [~ghosts:false] (the reachable-code semantics synthesis sees):
+     the cost-side default deliberately keeps pruned codes as frozen
+     ghosts so the don't-care universe never shrinks along a reduction
+     lineage — under that measure this inequality need not hold. *)
   let stg = Specs.fig1 () in
   let sg = Gen.sg_exn stg in
   let before = Logic.estimate sg in
   match
     Reduction.fwd_red sg ~a:(Core.lab stg "Ack-") ~b:(Core.lab stg "Req+")
   with
-  | Ok reduced -> check "estimate not larger" true (Logic.estimate reduced <= before)
+  | Ok reduced ->
+      check "estimate not larger" true
+        (Logic.estimate ~ghosts:false reduced <= before)
   | Error _ -> Alcotest.fail "reduction should apply"
 
 let test_cover_area_model () =
