@@ -479,7 +479,10 @@ let ablation () =
       else
         match Reduction.realize ~applied reduced with
         | Ok stg' -> Ok stg'
-        | Error _ -> Regions.synthesize reduced
+        | Error _ -> (
+            match Regions.synthesize reduced with
+            | Ok stg' -> Ok stg'
+            | Error e -> Error (Regions.error_to_string e))
     in
     match realized with
     | Error msg -> Printf.printf "   %-18s realization failed: %s\n" name msg

@@ -200,7 +200,10 @@ let reduce_cmd =
           let realized =
             match Reduction.realize ~applied:best.Search.applied best.Search.sg with
             | Ok stg' -> Ok stg'
-            | Error _ -> Regions.synthesize best.Search.sg
+            | Error _ -> (
+                match Regions.synthesize best.Search.sg with
+                | Ok stg' -> Ok stg'
+                | Error e -> Error (Regions.error_to_string e))
           in
           match realized with
           | Ok stg' ->
@@ -238,6 +241,106 @@ let reduce_cmd =
     (Cmd.info "reduce" ~doc:"Optimize an STG by concurrency reduction.")
     Term.(ret (const run $ file_pos $ w $ frontier $ keeps $ print_stg
           $ trace_arg $ metrics_arg))
+
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run count seed classes corpus report jobs max_signals =
+    let classes =
+      match
+        List.map
+          (fun c -> (c, Gen.class_of_name c))
+          (List.concat_map (String.split_on_char ',') classes)
+      with
+      | [] -> Ok Gen.all_classes
+      | l -> (
+          match List.find_opt (fun (_, r) -> r = None) l with
+          | Some (bad, _) ->
+              Error (Printf.sprintf "unknown generator class %S (use sp,fc,ac)" bad)
+          | None -> Ok (List.filter_map snd l))
+    in
+    match classes with
+    | Error msg -> `Error (false, msg)
+    | Ok classes ->
+        let r = Fuzz.run ~jobs ~classes ~max_signals ~corpus ~count ~seed () in
+        print_string (Fuzz.report_summary r);
+        (match report with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Fuzz.report_to_json r);
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "wrote %s\n" file);
+        if r.Fuzz.r_failures = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d failing spec(s); minimized repros under %s/"
+                (List.length r.Fuzz.r_failures) corpus )
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random specs to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed.  Case $(i,i) uses seed S+i; the same seed \
+             reproduces the same corpus and report bytes.")
+  in
+  let classes =
+    Arg.(
+      value & opt_all string []
+      & info [ "classes" ] ~docv:"CLS"
+          ~doc:
+            "Generator classes to draw from, comma-separated: $(b,sp) \
+             (series-parallel marked graphs), $(b,fc) (free-choice \
+             guarded selections), $(b,ac) (asymmetric-choice arbiters).  \
+             Default: all three, round-robin.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "fuzz-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Directory for minimized .g repro files (created if needed).")
+  in
+  let report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the JSON triage report to $(docv).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:"Pool size for the pooled search arms (>= 1).")
+  in
+  let max_signals =
+    Arg.(
+      value & opt int 6
+      & info [ "max-signals" ] ~docv:"K"
+          ~doc:"Size bound handed to the generators.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing of the full flow: random free-choice, \
+          asymmetric-choice and series-parallel specs through parse, SG, \
+          the reduction search under every evaluation mode (sequential \
+          and pooled, byte-identity enforced), realization and \
+          verification, with crash/divergence triage, shrinking and a \
+          deterministic JSON report.")
+    Term.(
+      ret
+        (const run $ count $ seed $ classes $ corpus $ report $ jobs
+       $ max_signals))
 
 (* ---- dot ---- *)
 
@@ -363,4 +466,5 @@ let () =
             expand_cmd;
             dot_cmd;
             contract_cmd;
+            fuzz_cmd;
           ]))

@@ -1,0 +1,39 @@
+# AMBA AHB bus arbiter, two masters.
+#
+# Each master i raises its request (hbusreq<i>+, input), the arbiter
+# grants the bus (hgrant<i>+, output, consuming the single BUS token —
+# an asymmetric-choice cell: BUS's consumers strictly contain each
+# pending place's), the master runs its transfer (htrans<i>+/-) while
+# holding the bus, lowers the request and is degranted, returning the
+# BUS token.  The grant choice between simultaneously pending masters
+# is a genuine output arbitration, so the net is asymmetric-choice and
+# deliberately NOT speed-independent.
+.inputs hbusreq1 hbusreq2
+.outputs hgrant1 hgrant2 htrans1 htrans2
+.graph
+c1 hbusreq1+
+hbusreq1+ p1
+p1 hgrant1+
+BUS hgrant1+
+hgrant1+ htrans1+
+htrans1+ htrans1-
+htrans1- d1
+d1 hbusreq1-
+hbusreq1- s1
+s1 hgrant1-
+hgrant1- c1
+hgrant1- BUS
+c2 hbusreq2+
+hbusreq2+ p2
+p2 hgrant2+
+BUS hgrant2+
+hgrant2+ htrans2+
+htrans2+ htrans2-
+htrans2- d2
+d2 hbusreq2-
+hbusreq2- s2
+s2 hgrant2-
+hgrant2- c2
+hgrant2- BUS
+.marking { BUS c1 c2 }
+.end

@@ -1,0 +1,26 @@
+# AMBA AHB master interface controller (one bus tenure per cycle).
+#
+# The master requests the bus (hbusreq+), waits for the arbiter's grant
+# (hgrant+, input), then drives the address phase and the transfer type
+# concurrently (haddr+ || htrans+); the slave's hready+ (input) closes
+# the data phase, both bus drivers are released concurrently, and the
+# handshake unwinds.  A live, safe marked graph — no choice — so it is
+# speed-independent and the concurrency between haddr and htrans is
+# exactly what the reduction search trades against logic cost.
+.inputs hgrant hready
+.outputs hbusreq htrans haddr
+.graph
+hbusreq+ hgrant+
+hgrant+ htrans+
+hgrant+ haddr+
+htrans+ hready+
+haddr+ hready+
+hready+ htrans-
+hready+ haddr-
+htrans- hbusreq-
+haddr- hbusreq-
+hbusreq- hgrant-
+hgrant- hready-
+hready- hbusreq+
+.marking { <hready-,hbusreq+> }
+.end

@@ -62,7 +62,7 @@ let () =
     o.Search.best.Search.sg
   in
   match Regions.synthesize best_sg with
-  | Error msg -> Printf.printf "realization failed: %s\n" msg
+  | Error e -> Printf.printf "realization failed: %s\n" (Regions.error_to_string e)
   | Ok stg' -> (
       match Csc.resolve (Core.sg_exn stg') with
       | Error msg -> Printf.printf "CSC failed: %s\n" msg

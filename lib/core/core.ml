@@ -130,7 +130,10 @@ let implement_realized ?delays ?max_csc ?style ~name reduced applied =
     let realized =
       match Reduction.realize ~applied reduced with
       | Ok stg' -> Ok stg'
-      | Error _ -> Regions.synthesize reduced
+      | Error _ -> (
+          match Regions.synthesize reduced with
+          | Ok stg' -> Ok stg'
+          | Error e -> Error (Regions.error_to_string e))
     in
     match realized with
     | Ok stg' -> (

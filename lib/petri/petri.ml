@@ -205,6 +205,39 @@ let is_free_choice net =
   let rec loop p = p >= net.n_places || (ok p && loop (p + 1)) in
   loop 0
 
+let is_asymmetric_choice net =
+  (* Consumer sets are sorted transition-id arrays (built that way), so
+     containment is a linear merge. *)
+  let contains big small =
+    let nb = Array.length big and ns = Array.length small in
+    let rec loop i j =
+      j >= ns
+      || i < nb
+         && (if big.(i) = small.(j) then loop (i + 1) (j + 1)
+             else big.(i) < small.(j) && loop (i + 1) j)
+    in
+    loop 0 0
+  in
+  let intersects a b =
+    let na = Array.length a and nb = Array.length b in
+    let rec loop i j =
+      i < na && j < nb
+      && (a.(i) = b.(j)
+         || if a.(i) < b.(j) then loop (i + 1) j else loop i (j + 1))
+    in
+    loop 0 0
+  in
+  let ok p q =
+    let cp = net.consumers.(p) and cq = net.consumers.(q) in
+    (not (intersects cp cq)) || contains cp cq || contains cq cp
+  in
+  let rec pairs p q =
+    p >= net.n_places
+    || (if q >= net.n_places then pairs (p + 1) (p + 2)
+        else ok p q && pairs p (q + 1))
+  in
+  pairs 0 1
+
 let deadlock_free ?budget net =
   let live m = enabled_all net m <> [] in
   List.for_all live (reachable ?budget net)

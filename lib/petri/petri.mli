@@ -92,6 +92,12 @@ val is_marked_graph : t -> bool
     pre-sets. *)
 val is_free_choice : t -> bool
 
+(** Asymmetric choice: any two places sharing a consumer have ordered
+    consumer sets (one contains the other).  Strictly weaker than
+    {!is_free_choice}; arbiter cells (a shared resource place feeding the
+    grant transitions of several clients) are the canonical example. *)
+val is_asymmetric_choice : t -> bool
+
 (** [deadlock_free ?budget net] — every reachable marking enables some
     transition. *)
 val deadlock_free : ?budget:int -> t -> bool

@@ -215,7 +215,16 @@ let realize ~applied reduced =
   match constrain stg pairs with
   | Error _ as e -> e
   | Ok stg' -> (
-      match Sg.of_stg stg' with
+      (* The realized SG must reproduce [reduced] exactly, so exploring past
+         its state count already disproves the isomorphism — a tight budget
+         keeps bad candidates (e.g. unbounded nets from a cross-branch
+         causality place) from walking the full default budget. *)
+      (* [warn] silenced: this is an internal verification build — if an
+         unconstrained default skews the encoding, the signature check
+         below rejects the candidate anyway. *)
+      match
+        Sg.of_stg ~budget:(Sg.n_states reduced) ~warn:(fun _ -> ()) stg'
+      with
       | Error e ->
           Error (Format.asprintf "realized STG is not valid: %a" Sg.pp_error e)
       | Ok sg' ->

@@ -2,6 +2,30 @@ type region = Sg.state list
 
 type crossing = Enters | Exits | Nocross | Violates
 
+type unsupported =
+  | Not_excitation_closed of string
+  | State_separation of Sg.state * Sg.state
+  | Budget_exhausted
+
+type error = Unsupported of unsupported | Invalid of string
+
+let error_to_string = function
+  | Unsupported (Not_excitation_closed lab) ->
+      Printf.sprintf
+        "unsupported: not excitation-closed for %s (label splitting not \
+         implemented)"
+        lab
+  | Unsupported (State_separation (s, s')) ->
+      Printf.sprintf
+        "unsupported: states %d and %d lie in exactly the same minimal \
+         regions (state separation fails)"
+        s s'
+  | Unsupported Budget_exhausted ->
+      "unsupported: region exploration budget exhausted"
+  | Invalid msg -> "internal: " ^ msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
 (* Arcs of each label, as (source, target) pairs. *)
 let label_arcs sg =
   let tbl = Hashtbl.create 16 in
@@ -162,7 +186,7 @@ let synthesize ?budget sg =
     |> List.filter (fun l -> Hashtbl.mem arcs_tbl l)
   in
   let regions = minimal_regions ?budget sg in
-  if regions = [] then Error "no regions found (budget exceeded?)"
+  if regions = [] then Error (Unsupported Budget_exhausted)
   else begin
     let region_arr = Array.of_list regions in
     let in_region =
@@ -200,13 +224,39 @@ let synthesize ?budget sg =
               inter <> er lab)
         labels
     in
-    match ec_failure with
-    | Some lab ->
-        Error
-          (Printf.sprintf
-             "not excitation-closed for %s (label splitting not implemented)"
-             (Stg.label_name stg lab))
-    | None -> (
+    (* State separation: two distinct states lying in exactly the same
+       minimal regions AND carrying the same binary code would be mapped
+       to the same (marking, signal-parity) state of the rebuilt net — it
+       could not tell them apart.  (Same-region states with different
+       codes stay distinct: the SG of the synthesized STG tracks signal
+       parities alongside the marking, as 2-phase toggle specs rely on.)
+       Detect it up front rather than mis-synthesize and fail the final
+       verification: the SG is outside the class this synthesizer
+       handles. *)
+    let separation_failure =
+      let n = Sg.n_states sg in
+      let seen = Hashtbl.create n in
+      let rec scan s =
+        if s >= n then None
+        else
+          let key =
+            String.init (Array.length region_arr) (fun r ->
+                if in_region.(r).(s) then '\001' else '\000')
+            ^ Sg.code sg s
+          in
+          match Hashtbl.find_opt seen key with
+          | Some s' -> Some (s', s)
+          | None ->
+              Hashtbl.replace seen key s;
+              scan (s + 1)
+      in
+      scan 0
+    in
+    match (ec_failure, separation_failure) with
+    | Some lab, _ ->
+        Error (Unsupported (Not_excitation_closed (Stg.label_name stg lab)))
+    | None, Some (s, s') -> Error (Unsupported (State_separation (s, s')))
+    | None, None -> (
         let b = Petri.Builder.create () in
         let n_regions = Array.length region_arr in
         let places =
@@ -249,8 +299,9 @@ let synthesize ?budget sg =
         match Sg.of_stg stg' with
         | Error e ->
             Error
-              (Format.asprintf "synthesized STG invalid: %a" Sg.pp_error e)
+              (Invalid
+                 (Format.asprintf "synthesized STG invalid: %a" Sg.pp_error e))
         | Ok sg' ->
             if String.equal (Sg.signature sg') (Sg.signature sg) then Ok stg'
-            else Error "synthesized STG does not reproduce the SG")
+            else Error (Invalid "synthesized STG does not reproduce the SG"))
   end

@@ -35,9 +35,28 @@ val is_region : Sg.t -> Sg.state list -> bool
     @raise Invalid_argument on an empty SG. *)
 val minimal_regions : ?budget:int -> Sg.t -> region list
 
+(** Why an SG lies outside the class this synthesizer round-trips: some
+    label's excitation region is not the intersection of its minimal
+    pre-regions (label splitting is not implemented), two states lie in
+    exactly the same minimal regions (no place can separate them — the
+    net would merge them), or region exploration ran out of budget. *)
+type unsupported =
+  | Not_excitation_closed of string  (** offending label, printable form *)
+  | State_separation of Sg.state * Sg.state  (** inseparable state pair *)
+  | Budget_exhausted
+
+(** [Unsupported] is a class limit, detected {e before} a net is built —
+    callers route these SGs elsewhere (or report them) instead of
+    receiving a silently wrong net.  [Invalid] means the built net failed
+    the final regenerate-and-compare verification: a synthesizer bug, not
+    an input property. *)
+type error = Unsupported of unsupported | Invalid of string
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
 (** [synthesize sg] — build an STG (one transition per label, one place per
     needed minimal region) whose state graph is label-isomorphic to [sg];
     the result is verified by regenerating the SG and comparing canonical
-    signatures.  Errors: not excitation-closed, state separation fails, or
-    the verification mismatches. *)
-val synthesize : ?budget:int -> Sg.t -> (Stg.t, string) result
+    signatures. *)
+val synthesize : ?budget:int -> Sg.t -> (Stg.t, error) result

@@ -416,7 +416,20 @@ let of_stg_impl ?(budget = 200_000) ?(initial_values = []) ?(warn = default_warn
   let nsig = Stg.n_signals stg in
   let b = Builder.create ~expect:1024 stg in
   let index = Hashtbl.create 1024 in
-  let key m par = (Array.to_list m, Bytes.to_string par) in
+  (* String keys: the polymorphic hash only traverses a bounded number of
+     list/tuple nodes, so markings that differ late in a long (or
+     token-accumulating) place vector would all collide and turn the
+     exploration quadratic; a string is hashed in full. *)
+  let key m par =
+    let buf = Buffer.create (4 * (Array.length m + 1)) in
+    Array.iter
+      (fun v ->
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ',')
+      m;
+    Buffer.add_bytes buf par;
+    Buffer.contents buf
+  in
   let parities = ref (Array.make 1024 Bytes.empty) in
   let intern m par =
     let k = key m par in

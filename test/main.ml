@@ -38,4 +38,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("delta", Test_delta.suite);
       ("roundtrip", Test_roundtrip.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

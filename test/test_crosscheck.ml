@@ -97,8 +97,8 @@ let prop_random_nets =
       let stg = Gen.stg_of_sp sp in
       let net = stg.Stg.net in
       (* The boolean encoding covers safe nets only (see symbolic.mli);
-         [Gen] trees with a toplevel Par close the loop with cross back
-         places that can hold two tokens, so filter on actual safety. *)
+         [Gen] trees are 1-safe by construction, so only the encoding's
+         place-count ceiling filters. *)
       QCheck.assume (Petri.n_places net <= 62 && Petri.is_safe net);
       let explicit = Petri.reachable net in
       let space = Symbolic.Space.of_net net in

@@ -54,7 +54,7 @@ let test_synthesize_fig1 () =
       Alcotest.(check string)
         "label-isomorphic" (Sg.signature sg) (Sg.signature sg');
       check "signals preserved" true (Stg.n_signals stg' = 2)
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Regions.error_to_string e)
 
 let test_synthesize_lr () =
   let stg = Expansion.four_phase Specs.lr in
@@ -64,7 +64,7 @@ let test_synthesize_lr () =
       Alcotest.(check string)
         "label-isomorphic" (Sg.signature sg)
         (Sg.signature (Gen.sg_exn stg'))
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Regions.error_to_string e)
 
 let test_synthesize_reduced_par () =
   (* The case that motivated regions: a reduced PAR SG that simple
@@ -83,7 +83,7 @@ let test_synthesize_reduced_par () =
       Alcotest.(check string)
         "label-isomorphic" (Sg.signature reduced)
         (Sg.signature (Gen.sg_exn stg'))
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Regions.error_to_string e)
 
 let test_budget () =
   let sg = fig1_sg () in
@@ -167,7 +167,7 @@ let test_synthesize_corpus () =
       | Ok stg' ->
           check (name ^ " round-trips") true
             (String.equal (Sg.signature sg) (Sg.signature (Gen.sg_exn stg')))
-      | Error msg -> Alcotest.failf "%s: %s" name msg)
+      | Error e -> Alcotest.failf "%s: %s" name (Regions.error_to_string e))
     (Specs.Corpus.all ())
 
 let test_minimal_regions_marked_graph () =
@@ -179,6 +179,62 @@ let test_minimal_regions_marked_graph () =
   check "initial state covered" true
     (List.exists (fun r -> List.mem (Sg.initial sg) r) regions)
 
+let test_budget_exhausted_is_typed () =
+  (* With no exploration budget, no region can be found: the typed error
+     says so instead of producing a bogus net. *)
+  let sg = Gen.sg_exn (Gen.ring ~inputs:1 2) in
+  match Regions.synthesize ~budget:0 sg with
+  | Error (Regions.Unsupported Regions.Budget_exhausted) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Regions.error_to_string e)
+  | Ok _ -> Alcotest.fail "synthesized with a zero budget"
+
+let test_error_rendering () =
+  (* Every typed constructor renders distinctly, and [Unsupported] is
+     visibly a class limit rather than an internal bug. *)
+  let cases =
+    [
+      (Regions.Unsupported (Regions.Not_excitation_closed "x+"), "unsupported");
+      (Regions.Unsupported (Regions.State_separation (0, 4)), "unsupported");
+      (Regions.Unsupported Regions.Budget_exhausted, "unsupported");
+      (Regions.Invalid "bug", "internal");
+    ]
+  in
+  let renderings = List.map (fun (e, _) -> Regions.error_to_string e) cases in
+  List.iter2
+    (fun (_, prefix) msg ->
+      check
+        (Printf.sprintf "%S starts with %S" msg prefix)
+        true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix))
+    cases renderings;
+  check "renderings are distinct" true
+    (List.length (List.sort_uniq compare renderings) = List.length renderings)
+
+let test_choice_nets_never_invalid () =
+  (* Over random free-choice and arbiter specs, raw and fully reduced,
+     synthesis either succeeds or reports a typed class limit
+     ([Unsupported]); [Invalid] would mean the verifier caught our own
+     mis-synthesis. *)
+  List.iter
+    (fun cls ->
+      for seed = 1 to 40 do
+        let stg = Gen.case_to_stg (Gen.random_case ~cls seed) in
+        match Sg.of_stg ~warn:(fun _ -> ()) stg with
+        | Error _ -> Alcotest.failf "%s %d: inconsistent" (Gen.class_name cls) seed
+        | Ok sg ->
+            let check_sg which sg =
+              match Regions.synthesize sg with
+              | Ok _ | Error (Regions.Unsupported _) -> ()
+              | Error (Regions.Invalid msg) ->
+                  Alcotest.failf "%s %s %d: invalid synthesis: %s" which
+                    (Gen.class_name cls) seed msg
+            in
+            check_sg "raw" sg;
+            check_sg "reduced" (Search.reduce_fully ~w:0.8 sg).Search.sg
+      done)
+    [ `Fc; `Ac ]
+
 let suite =
   suite
   @ [
@@ -186,4 +242,10 @@ let suite =
       Alcotest.test_case "synthesize corpus" `Slow test_synthesize_corpus;
       Alcotest.test_case "regions cover initial" `Quick
         test_minimal_regions_marked_graph;
+      Alcotest.test_case "budget exhaustion is typed" `Quick
+        test_budget_exhausted_is_typed;
+      Alcotest.test_case "typed errors render distinctly" `Quick
+        test_error_rendering;
+      Alcotest.test_case "choice nets never yield Invalid" `Slow
+        test_choice_nets_never_invalid;
     ]
