@@ -14,6 +14,9 @@
                                  search timings vs the PR 5 baseline,
                                  delta-reuse/support/steal counters and a
                                  cross-mode byte-identity check
+            --json-pr8 [FILE]    hash-consed netlist IR: tree vs shared vs
+                                 mapped areas per example, cons-table hit
+                                 rates, emission + simulation timings
             --check-overhead     with --json-pr5: fail if disabled-mode
                                  search_optimize_lr exceeds 1.02x the PR 4
                                  recorded baseline
@@ -1289,6 +1292,139 @@ let json_pr6 ~smoke out_file =
   end
 
 (* ------------------------------------------------------------------ *)
+(* PR 8: hash-consed netlist IR.  Per example: the tree-decomposition   *)
+(* area (every driver an independent tree), the post-sharing area of    *)
+(* the hash-consed graph, and the tech-mapped area over that graph;     *)
+(* hash-cons hit rates from the netlist.cons.* counters over one build; *)
+(* emission and full-state simulation kernel timings.                   *)
+
+let json_pr8 ~smoke out_file =
+  let resolved name spec =
+    let sg = Core.sg_exn (Expansion.four_phase spec) in
+    match Csc.resolve sg with
+    | Error m -> failwith (name ^ ": " ^ m)
+    | Ok r -> (name, r.Csc.sg, Logic.synthesize r.Csc.sg)
+  in
+  let ahb =
+    let stg = Stg.Io.parse_file "examples/data/ahb_arbiter.g" in
+    match Sg.of_stg ~warn:(fun _ -> ()) stg with
+    | Error e -> failwith (Format.asprintf "ahb_arbiter: %a" Sg.pp_error e)
+    | Ok sg -> ("ahb_arbiter", sg, Logic.synthesize sg)
+  in
+  let examples =
+    [
+      resolved "lr" Specs.lr;
+      resolved "par" Specs.par;
+      resolved "mmu" Specs.mmu;
+      (* kept CSC conflicts: the netlist is still well-defined logic *)
+      ahb;
+    ]
+  in
+  let tree_area (impl : Logic.impl) =
+    List.fold_left
+      (fun acc si -> acc + Logic.driver_area si.Logic.driver)
+      0 impl.Logic.per_signal
+  in
+  let areas =
+    List.map
+      (fun (name, _, impl) ->
+        let nl = Netlist.of_impl impl in
+        let dag = (Techmap.map_netlist nl).Techmap.area in
+        let tre = (Techmap.map_impl_tree impl).Techmap.area in
+        ( name,
+          Printf.sprintf
+            "{ \"tree\": %d, \"shared\": %d, \"mapped\": %d, \
+             \"mapped_tree\": %d, \"live_nodes\": %d, \"gates\": %d }"
+            (tree_area impl) (Netlist.area nl) (min dag tre) tre
+            (Netlist.live_count nl) (Netlist.gate_count nl) ))
+      examples
+  in
+  (* Hit rate of the hash-cons table over ONE construction of each
+     example's netlist: the fraction of structurally duplicate requests
+     served by sharing instead of fresh nodes. *)
+  let cons_rates =
+    List.map
+      (fun (name, _, impl) ->
+        let cs = Harness.counters_of (fun () -> ignore (Netlist.of_impl impl)) in
+        let c k = Option.value ~default:0 (List.assoc_opt k cs) in
+        let hit = c "netlist.cons.hit" and miss = c "netlist.cons.miss" in
+        ( name,
+          Printf.sprintf
+            "{ \"hit\": %d, \"miss\": %d, \"fold\": %d, \"hit_rate\": %.3f }"
+            hit miss
+            (c "netlist.cons.fold")
+            (if hit + miss = 0 then 0.0
+             else float_of_int hit /. float_of_int (hit + miss)) ))
+      examples
+  in
+  let ports sg =
+    let stg = Sg.stg sg in
+    let ins = ref [] and outs = ref [] and internals = ref [] in
+    for i = Stg.n_signals stg - 1 downto 0 do
+      match (Stg.signal stg i).Stg.Signal.kind with
+      | Stg.Signal.Input -> ins := i :: !ins
+      | Stg.Signal.Internal -> internals := i :: !internals
+      | _ -> outs := i :: !outs
+    done;
+    (!ins, !outs, !internals)
+  in
+  let kernels =
+    List.concat_map
+      (fun (name, sg, impl) ->
+        let nl = Netlist.of_impl impl in
+        let stg = Sg.stg sg in
+        let names =
+          Array.init (Stg.n_signals stg) (fun i ->
+              (Stg.signal stg i).Stg.Signal.name)
+        in
+        let inputs, outs, internals = ports sg in
+        [
+          (name ^ "_build", fun () -> ignore (Netlist.of_impl impl));
+          ( name ^ "_emit_verilog",
+            fun () ->
+              ignore
+                (Netlist.to_verilog ~module_name:name ~names ~inputs ~outs
+                   ~internals nl) );
+          ( name ^ "_emit_blif",
+            fun () ->
+              ignore
+                (Netlist.to_blif ~model_name:name ~names ~inputs ~outs
+                   ~internals nl) );
+          ( name ^ "_simulate",
+            fun () ->
+              for s = 0 to Sg.n_states sg - 1 do
+                ignore
+                  (Netlist.next_values nl ~current:(fun i ->
+                       Sg.value sg s i = 1))
+              done );
+        ])
+      examples
+  in
+  let passes = if smoke then 1 else 5 in
+  let times = Harness.min_over_passes ~passes kernels in
+  let j = Harness.Json.create () in
+  Harness.Json.str j "bench" "BENCH_PR8";
+  Harness.Json.bool j "smoke" smoke;
+  Harness.Json.str j "units" "ns_per_run";
+  Harness.Json.obj_raw j "areas" areas;
+  Harness.Json.obj_raw j "hash_cons" cons_rates;
+  Harness.Json.obj j "ns" times;
+  Harness.Json.write j out_file;
+  (* Sharing must never lose to the tree decomposition; a regression
+     here is a correctness bug in the constructor folds, not noise. *)
+  List.iter
+    (fun (name, _, impl) ->
+      let nl = Netlist.of_impl impl in
+      if Netlist.area nl > tree_area impl then begin
+        Printf.printf
+          "::error title=netlist area::%s: shared area %d exceeds tree area \
+           %d\n"
+          name (Netlist.area nl) (tree_area impl);
+        exit 1
+      end)
+    examples
+
+(* ------------------------------------------------------------------ *)
 (* One full MMU flow pass: the smallest section that exercises every    *)
 (* instrumented phase (parse/expand -> SG -> search -> CSC -> logic ->  *)
 (* mapping), sized for `--trace FILE` runs.                             *)
@@ -1350,6 +1486,18 @@ let () =
     strip args
   in
   if !trace_file <> None || !metrics then Obs.set_enabled true;
+  if List.mem "--json-pr8" args then begin
+    let smoke = List.mem "--smoke" args in
+    let out =
+      match
+        List.filter (fun a -> a <> "--json-pr8" && a <> "--smoke") args
+      with
+      | [ f ] -> f
+      | _ -> "BENCH_PR8.json"
+    in
+    json_pr8 ~smoke out;
+    exit 0
+  end;
   if List.mem "--json-pr6" args then begin
     let smoke = List.mem "--smoke" args in
     let out =

@@ -124,8 +124,10 @@ let check_cmd =
 (* ---- synth ---- *)
 
 let synth_cmd =
-  let run stg max_csc verilog trace metrics =
+  let run stg max_csc verilog emit trace metrics =
     with_obs trace metrics @@ fun () ->
+    (* --verilog is kept as shorthand for --emit verilog *)
+    let emit = if verilog && emit = [] then [ `Verilog ] else emit in
     match sg_or_fail stg with
     | Error msg -> `Error (false, msg)
     | Ok sg ->
@@ -135,13 +137,19 @@ let synth_cmd =
         (match r.Core.mapped_area with
         | Some a -> Printf.printf "mapped area: %d\n" a
         | None -> ());
-        if verilog then begin
+        if emit <> [] then begin
           match Csc.resolve ~max_signals:max_csc sg with
           | Ok res ->
               let impl = Logic.synthesize res.Csc.sg in
-              print_string
-                (Circuit.to_verilog ~module_name:"circuit"
-                   (Circuit.of_impl impl))
+              let circuit = Circuit.of_impl impl in
+              List.iter
+                (fun backend ->
+                  print_string
+                    (match backend with
+                    | `Verilog ->
+                        Circuit.to_verilog ~module_name:"circuit" circuit
+                    | `Blif -> Circuit.to_blif ~model_name:"circuit" circuit))
+                emit
           | Error msg -> Printf.printf "# no netlist: %s\n" msg
         end;
         `Ok ()
@@ -155,18 +163,32 @@ let synth_cmd =
   let verilog =
     Arg.(
       value & flag
-      & info [ "verilog" ] ~doc:"Also emit the decomposed netlist as Verilog.")
+      & info [ "verilog" ]
+          ~doc:"Also emit the decomposed netlist as Verilog (same as \
+                $(b,--emit verilog)).")
+  in
+  let emit =
+    let backend =
+      Arg.enum [ ("verilog", `Verilog); ("blif", `Blif) ]
+    in
+    Arg.(
+      value & opt_all backend []
+      & info [ "emit" ] ~docv:"BACKEND"
+          ~doc:
+            "Also emit the shared netlist in the given format: \
+             $(b,verilog) or $(b,blif).  Repeatable; both backends walk \
+             the same hash-consed graph with the same net names.")
   in
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Resolve CSC and synthesize logic, area and critical cycle.")
-    Term.(ret (const run $ file_pos $ max_csc $ verilog $ trace_arg
+    Term.(ret (const run $ file_pos $ max_csc $ verilog $ emit $ trace_arg
           $ metrics_arg))
 
 (* ---- reduce ---- *)
 
 let reduce_cmd =
-  let run stg w frontier keeps print_stg trace metrics =
+  let run stg w frontier keeps print_stg area_mode trace metrics =
     with_obs trace metrics @@ fun () ->
     match sg_or_fail stg with
     | Error msg -> `Error (false, msg)
@@ -183,7 +205,9 @@ let reduce_cmd =
           | Not_found -> failwith "unknown event in --keep"
           | Failure spec -> failwith ("bad --keep syntax: " ^ spec)
         in
-        let outcome = Search.optimize ~w ~size_frontier:frontier ~keep_conc sg in
+        let outcome =
+          Search.optimize ~w ~size_frontier:frontier ~keep_conc ~area_mode sg
+        in
         let best = outcome.Search.best in
         Printf.printf
           "explored %d configurations over %d levels; best cost %.1f\n"
@@ -237,10 +261,22 @@ let reduce_cmd =
       value & flag
       & info [ "stg" ] ~doc:"Also print the realized reduced STG.")
   in
+  let area_mode =
+    let mode = Arg.enum [ ("tree", `Tree); ("shared", `Shared) ] in
+    Arg.(
+      value & opt mode `Tree
+      & info [ "area-model" ] ~docv:"MODEL"
+          ~doc:
+            "Logic-cost objective for candidate pricing: $(b,tree) \
+             (literal count, each signal an independent tree — the \
+             historical default) or $(b,shared) (post-sharing area of \
+             the hash-consed netlist, matching what technology mapping \
+             pays).")
+  in
   Cmd.v
     (Cmd.info "reduce" ~doc:"Optimize an STG by concurrency reduction.")
     Term.(ret (const run $ file_pos $ w $ frontier $ keeps $ print_stg
-          $ trace_arg $ metrics_arg))
+          $ area_mode $ trace_arg $ metrics_arg))
 
 (* ---- fuzz ---- *)
 

@@ -1,100 +1,6 @@
-type gate = { output : string; kind : kind; inputs : string list }
+type t = { sg : Sg.t; signal_names : string array; netlist : Netlist.t }
 
-and kind = Buf | Inv | And2 | Or2 | Const of bool | Celem
-(* Celem: inputs = [set; reset]; output holds state:
-   out' = set | (out & ~reset). *)
-
-type t = { sg : Sg.t; signal_names : string array; gates : gate list }
-
-(* Decompose one minimized cover into gates; returns the gates in
-   topological order, the last one driving [out]. *)
-let decompose_cover ~names ~out cover =
-  let gates = ref [] in
-  let fresh =
-    let k = ref 0 in
-    fun tag ->
-      incr k;
-      Printf.sprintf "%s_%s%d" out tag !k
-  in
-  let emit output kind inputs = gates := { output; kind; inputs } :: !gates in
-  let nsig = Array.length names in
-  match cover with
-  | [] ->
-      emit out (Const false) [];
-      List.rev !gates
-  | [ c ] when Boolf.Cube.literals c = 0 ->
-      emit out (Const true) [];
-      List.rev !gates
-  | cover ->
-      (* One inverter per variable used negatively anywhere in the cover. *)
-      let inverted = Hashtbl.create 8 in
-      List.iter
-        (fun c ->
-          for v = 0 to nsig - 1 do
-            if
-              Boolf.Cube.bound c v
-              && (not (Boolf.Cube.polarity c v))
-              && not (Hashtbl.mem inverted v)
-            then begin
-              let net = fresh "inv" in
-              emit net Inv [ names.(v) ];
-              Hashtbl.replace inverted v net
-            end
-          done)
-        cover;
-      let literal_net c v =
-        if Boolf.Cube.polarity c v then names.(v) else Hashtbl.find inverted v
-      in
-      let cube_net ~last c =
-        let lits =
-          List.filter_map
-            (fun v -> if Boolf.Cube.bound c v then Some (literal_net c v) else None)
-            (List.init nsig Fun.id)
-        in
-        match lits with
-        | [] -> assert false (* the 0-literal cube was handled above *)
-        | [ single ] ->
-            if last then begin
-              (* single literal driving the output directly: a wire (or the
-                 inverter already emitted). *)
-              emit out Buf [ single ];
-              out
-            end
-            else single
-        | first :: rest ->
-            (* AND chain; the final gate drives [out] when this cube is the
-               whole cover. *)
-            let rec chain acc = function
-              | [] -> acc
-              | [ l ] when last ->
-                  emit out And2 [ acc; l ];
-                  out
-              | l :: tl ->
-                  let net = fresh "and" in
-                  emit net And2 [ acc; l ];
-                  chain net tl
-            in
-            chain first rest
-      in
-      (match cover with
-      | [ c ] -> ignore (cube_net ~last:true c)
-      | cubes ->
-          let nets = List.map (cube_net ~last:false) cubes in
-          (* OR chain. *)
-          let rec chain acc = function
-            | [] -> assert false
-            | [ l ] ->
-                emit out Or2 [ acc; l ];
-                out
-            | l :: tl ->
-                let net = fresh "or" in
-                emit net Or2 [ acc; l ];
-                chain net tl
-          in
-          (match nets with
-          | first :: rest -> ignore (chain first rest)
-          | [] -> assert false));
-      List.rev !gates
+let netlist c = c.netlist
 
 let of_impl (impl : Logic.impl) =
   if Logic.conflicts impl > 0 then
@@ -103,140 +9,43 @@ let of_impl (impl : Logic.impl) =
   let signal_names =
     Array.map (fun s -> s.Stg.Signal.name) (Sg.stg sg).Stg.signals
   in
-  let gates =
-    List.concat_map
-      (fun si ->
-        let out = signal_names.(si.Logic.signal) in
-        match si.Logic.driver with
-        | Logic.Sop cover -> decompose_cover ~names:signal_names ~out cover
-        | Logic.Gc { set; reset } ->
-            let set_net = out ^ "_set" and reset_net = out ^ "_reset" in
-            decompose_cover ~names:signal_names ~out:set_net set
-            @ decompose_cover ~names:signal_names ~out:reset_net reset
-            @ [ { output = out; kind = Celem; inputs = [ set_net; reset_net ] } ])
-      impl.Logic.per_signal
-  in
-  { sg; signal_names; gates }
+  { sg; signal_names; netlist = Netlist.of_impl impl }
 
-let gate_area = function
-  | Buf | Const _ -> 0
-  | Inv -> Logic.gate_cost_inverter
-  | And2 | Or2 -> Logic.gate_cost_2input
-  | Celem -> Logic.gate_cost_celement
+let area c = Netlist.area c.netlist
+let gate_count c = Netlist.gate_count c.netlist
 
-let area circuit =
-  List.fold_left (fun acc g -> acc + gate_area g.kind) 0 circuit.gates
-
-let gate_count circuit =
-  List.length
-    (List.filter
-       (fun g ->
-         match g.kind with
-         | Buf | Const _ -> false
-         | Inv | And2 | Or2 | Celem -> true)
-       circuit.gates)
-
-let non_input_signals circuit =
-  let stg = Sg.stg circuit.sg in
+let non_input_signals c =
+  let stg = Sg.stg c.sg in
   List.filter
     (fun i -> not (Stg.Signal.is_input (Stg.signal stg i)))
     (List.init (Stg.n_signals stg) Fun.id)
 
-let next_values circuit ~code =
-  let env = Hashtbl.create 32 in
-  Array.iteri
-    (fun i name -> Hashtbl.replace env name (code land (1 lsl i) <> 0))
-    circuit.signal_names;
-  let value name =
-    match Hashtbl.find_opt env name with
-    | Some v -> v
-    | None -> invalid_arg ("Circuit: undriven net " ^ name)
-  in
-  (* Gates of each signal cone are emitted in topological order, but the
-     final gate of a signal's cone redefines the signal name; evaluate into
-     a separate "next" table so one signal's new value does not feed
-     another cone (all cones read the CURRENT code). *)
-  let next = Hashtbl.create 8 in
-  let outputs = non_input_signals circuit in
-  let out_names =
-    List.map (fun i -> circuit.signal_names.(i)) outputs
-  in
-  List.iter
-    (fun g ->
-      let v =
-        match (g.kind, g.inputs) with
-        | Const b, _ -> b
-        | Buf, [ a ] -> value a
-        | Inv, [ a ] -> not (value a)
-        | And2, [ a; b ] -> value a && value b
-        | Or2, [ a; b ] -> value a || value b
-        | Celem, [ set; reset ] ->
-            (* state-holding: read the output's CURRENT value *)
-            value set || (value g.output && not (value reset))
-        | (Buf | Inv | And2 | Or2 | Celem), _ ->
-            invalid_arg "Circuit: malformed gate"
-      in
-      if List.mem g.output out_names then Hashtbl.replace next g.output v
-      else Hashtbl.replace env g.output v)
-    circuit.gates;
-  List.map
-    (fun i ->
-      let name = circuit.signal_names.(i) in
-      match Hashtbl.find_opt next name with
-      | Some v -> (i, v)
-      | None -> (i, value name))
-    outputs
+let next_values c ~state =
+  Netlist.next_values c.netlist ~current:(fun i -> Sg.value c.sg state i = 1)
 
-let to_verilog ?(module_name = "circuit") circuit =
-  let stg = Sg.stg circuit.sg in
-  let buf = Buffer.create 1024 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+let ports c =
+  let stg = Sg.stg c.sg in
   let ins =
     List.filter
       (fun i -> Stg.Signal.is_input (Stg.signal stg i))
       (List.init (Stg.n_signals stg) Fun.id)
   in
-  let non_inputs = non_input_signals circuit in
-  (* Internal (inserted state) signals stay inside the module. *)
   let outs, internals =
     List.partition
-      (fun i ->
-        (Stg.signal stg i).Stg.Signal.kind <> Stg.Signal.Internal)
-      non_inputs
+      (fun i -> (Stg.signal stg i).Stg.Signal.kind <> Stg.Signal.Internal)
+      (non_input_signals c)
   in
-  let name i = circuit.signal_names.(i) in
-  add "module %s (%s);\n" module_name
-    (String.concat ", " (List.map name ins @ List.map name outs));
-  List.iter (fun i -> add "  input %s;\n" (name i)) ins;
-  List.iter (fun i -> add "  output %s;\n" (name i)) outs;
-  List.iter (fun i -> add "  wire %s;\n" (name i)) internals;
-  let declared = Hashtbl.create 16 in
-  List.iter (fun i -> Hashtbl.replace declared (name i) ()) ins;
-  List.iter (fun i -> Hashtbl.replace declared (name i) ()) outs;
-  List.iter (fun i -> Hashtbl.replace declared (name i) ()) internals;
-  List.iter
-    (fun g ->
-      if not (Hashtbl.mem declared g.output) then begin
-        Hashtbl.replace declared g.output ();
-        add "  wire %s;\n" g.output
-      end)
-    circuit.gates;
-  List.iter
-    (fun g ->
-      match (g.kind, g.inputs) with
-      | Const b, _ -> add "  assign %s = 1'b%d;\n" g.output (if b then 1 else 0)
-      | Buf, [ a ] -> add "  assign %s = %s;\n" g.output a
-      | Inv, [ a ] -> add "  assign %s = ~%s;\n" g.output a
-      | And2, [ a; b ] -> add "  assign %s = %s & %s;\n" g.output a b
-      | Or2, [ a; b ] -> add "  assign %s = %s | %s;\n" g.output a b
-      | Celem, [ set; reset ] ->
-          (* generalized C-element as combinational feedback *)
-          add "  assign %s = %s | (%s & ~%s);\n" g.output set g.output reset
-      | (Buf | Inv | And2 | Or2 | Celem), _ ->
-          invalid_arg "Circuit: malformed gate")
-    circuit.gates;
-  add "endmodule\n";
-  Buffer.contents buf
+  (ins, outs, internals)
+
+let to_verilog ?(module_name = "circuit") c =
+  let inputs, outs, internals = ports c in
+  Netlist.to_verilog ~module_name ~names:c.signal_names ~inputs ~outs
+    ~internals c.netlist
+
+let to_blif ?(model_name = "circuit") c =
+  let inputs, outs, internals = ports c in
+  Netlist.to_blif ~model_name ~names:c.signal_names ~inputs ~outs ~internals
+    c.netlist
 
 type violation = {
   state : Sg.state;
@@ -251,11 +60,11 @@ let pp_violation sg ppf v =
     v.state (Sg.code_display sg v.state)
     (Stg.signal (Sg.stg sg) v.signal).Stg.Signal.name v.excited v.specified
 
-let conforms circuit =
-  let sg = circuit.sg in
+let conforms c =
+  let sg = c.sg in
   let violations = ref [] in
   for s = 0 to Sg.n_states sg - 1 do
-    let next = next_values circuit ~code:(Sg.code_bits sg s) in
+    let next = next_values c ~state:s in
     let spec_enabled i =
       List.exists
         (fun lab ->
@@ -269,7 +78,8 @@ let conforms circuit =
         let excited = v <> (Sg.value sg s i = 1) in
         let specified = spec_enabled i in
         if excited <> specified then
-          violations := { state = s; signal = i; excited; specified } :: !violations)
+          violations :=
+            { state = s; signal = i; excited; specified } :: !violations)
       next
   done;
   match List.rev !violations with [] -> Ok () | vs -> Error vs

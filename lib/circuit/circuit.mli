@@ -1,54 +1,49 @@
-(** Gate-level circuits: decomposition of synthesized logic into a 2-input
-    gate netlist, Verilog-style rendering, evaluation, and conformance
-    verification of the implementation against its state graph.
+(** Gate-level circuits: a thin conformance-checking view over the
+    hash-consed {!Netlist} IR, binding a netlist to the state graph it
+    implements.
 
     The paper reports "circuit area obtained by decomposing the circuit
-    into 2-input gates and mapping onto a gate library"; this module is
-    that decomposition, and the single concrete realization of the area
-    model documented in {!Logic}. *)
-
-(** A primitive gate instance.  [output] names are either circuit signals
-    (for the final gate of a signal's cone) or fresh internal nets. *)
-type gate = {
-  output : string;
-  kind : kind;
-  inputs : string list;
-}
-
-and kind =
-  | Buf  (** single-input buffer: a wire (zero area) *)
-  | Inv
-  | And2
-  | Or2
-  | Const of bool
-  | Celem
-      (** generalized C-element: inputs [set; reset], state-holding
-          [out' = set || (out && not reset)] *)
+    into 2-input gates and mapping onto a gate library"; the
+    decomposition itself now lives in {!Netlist} (one shared graph for
+    the whole implementation), and this module adds what needs the
+    specification: port directions, next-state evaluation against
+    reachable states, and conformance. *)
 
 type t = {
   sg : Sg.t;  (** the specification this circuit implements *)
   signal_names : string array;
-  gates : gate list;  (** topologically ordered: inputs before users *)
+  netlist : Netlist.t;
 }
 
-(** Decompose every synthesized cover into 2-input gates.
+(** The underlying shared gate graph. *)
+val netlist : t -> Netlist.t
+
+(** Build the shared netlist of a synthesized implementation.
     @raise Invalid_argument when the implementation still has CSC
     conflicts. *)
 val of_impl : Logic.impl -> t
 
-(** Total area: must agree with {!Logic.area} on the same implementation
-    (property-tested). *)
+(** Post-sharing area of the live graph: at most {!Logic.area} of the
+    same implementation, which prices each signal's cover as an
+    independent tree (property-tested). *)
 val area : t -> int
 
-(** Number of primitive gates, wires and constants excluded. *)
+(** Number of live primitive gates, wires and constants excluded. *)
 val gate_count : t -> int
 
-(** Evaluate the next value of every non-input signal given the current
-    code (bit [i] of [code] = value of signal [i]). *)
-val next_values : t -> code:int -> (int * bool) list
+(** Evaluate the next value of every non-input signal in a reachable
+    state.  Taking the {!Sg.state} (not a packed [int] code) keeps this
+    exact beyond 62 signals, matching {!Sg.code_bits}'s word packing. *)
+val next_values : t -> state:Sg.state -> (int * bool) list
 
-(** Structural Verilog (assign-style, one module). *)
+(** Structural Verilog (assign-style, one module) emitted from the
+    shared graph. *)
 val to_verilog : ?module_name:string -> t -> string
+
+(** BLIF emitted from the same graph with the same net names;
+    [.names] truth-table per node, C-elements as combinational
+    feedback tables. *)
+val to_blif : ?model_name:string -> t -> string
 
 (** {2 Conformance}
 
@@ -67,6 +62,7 @@ type violation = {
 
 val pp_violation : Sg.t -> Format.formatter -> violation -> unit
 
-(** Check every reachable state.  The SG must satisfy CSC (otherwise the
+(** Check every reachable state, driven by the one-pass netlist
+    simulator ({!Netlist.eval}).  The SG must satisfy CSC (otherwise the
     logic is not well-defined and [of_impl] refuses earlier). *)
 val conforms : t -> (unit, violation list) result

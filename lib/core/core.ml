@@ -13,6 +13,11 @@ type report = {
   mapped_area : int option;
       (* area after technology mapping (Techmap); None when no
          implementation was produced *)
+  shared_area : int option;
+      (* post-sharing area of the hash-consed netlist (Netlist.area);
+         at most [area], which prices each signal as an independent
+         tree.  None when no implementation was produced.  Not part of
+         the rendered table (kept byte-identical with earlier PRs). *)
   feasible : bool option;
       (* Some false: a max_cycle bound was given to the search and no
          configuration met it -- the report describes a bound-violating
@@ -70,6 +75,7 @@ let implement ?delays ?(max_csc = 6) ?(style = `Complex_gate) ~name sg =
         reductions = [];
         verified = None;
         mapped_area = None;
+        shared_area = None;
         feasible = None;
       }
   | Ok resolution ->
@@ -117,6 +123,10 @@ let implement ?delays ?(max_csc = 6) ?(style = `Complex_gate) ~name sg =
           (match Techmap.map_impl impl with
           | m -> Some m.Techmap.area
           | exception Invalid_argument _ -> None);
+        shared_area =
+          (match Netlist.of_impl impl with
+          | nl -> Some (Netlist.area nl)
+          | exception Invalid_argument _ -> None);
         feasible = None;
       }
 
@@ -154,6 +164,7 @@ let implement_realized ?delays ?max_csc ?style ~name reduced applied =
           reductions = applied;
           verified = None;
           mapped_area = None;
+          shared_area = None;
           feasible = None;
         }
 
@@ -162,11 +173,11 @@ let implement_reduced ?delays ?max_csc ?style ~name sg script =
   implement_realized ?delays ?max_csc ?style ~name reduced applied
 
 let optimize ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
-    ?perf_delays ?max_cycle ~name sg =
+    ?perf_delays ?max_cycle ?area_mode ~name sg =
   Obs.span ~args:[ ("name", name) ] "core.optimize" @@ fun () ->
   let outcome =
     Search.optimize ?pool ?w ?size_frontier ?keep_conc ?perf_delays ?max_cycle
-      sg
+      ?area_mode sg
   in
   let best = outcome.Search.best in
   let r =
@@ -185,13 +196,13 @@ let optimize ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
    Specs run in sequence (each search parallelizes internally), so the
    per-spec reports are exactly those of individual [optimize] calls. *)
 let optimize_all ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
-    ?perf_delays ?max_cycle specs =
+    ?perf_delays ?max_cycle ?area_mode specs =
   Obs.span "core.optimize_all" @@ fun () ->
   let run pool =
     List.map
       (fun (name, sg) ->
         optimize ~pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
-          ?perf_delays ?max_cycle ~name sg)
+          ?perf_delays ?max_cycle ?area_mode ~name sg)
       specs
   in
   match pool with

@@ -28,6 +28,12 @@ type report = {
   mapped_area : int option;
       (** area after technology mapping ({!Techmap.map_impl}); always at
           most [area] *)
+  shared_area : int option;
+      (** post-sharing area of the hash-consed netlist
+          ({!Netlist.area}): each structurally shared node counted once,
+          so always at most [area].  Not rendered in the table (whose
+          layout matches the paper); bench and callers read it
+          directly. *)
   feasible : bool option;
       (** outcome of a performance-constrained {!optimize}: [Some false]
           means no configuration met the [max_cycle] bound and the report
@@ -68,7 +74,9 @@ val implement_reduced :
     the pool's domains with byte-identical results (see {!Search.optimize}).
     With [perf_delays] and [max_cycle], the search is
     performance-constrained and the report's [feasible] field says whether
-    the bound was met (see {!Search.optimize}). *)
+    the bound was met (see {!Search.optimize}).  [area_mode] selects the
+    candidate pricing objective ([`Tree] literals, the default, or
+    [`Shared] post-sharing netlist area — see {!Search.area_mode}). *)
 val optimize :
   ?pool:Pool.t ->
   ?delays:(Stg.t -> Petri.trans -> int) ->
@@ -79,6 +87,7 @@ val optimize :
   ?keep_conc:Search.keep ->
   ?perf_delays:(Stg.label -> int) ->
   ?max_cycle:int ->
+  ?area_mode:Search.area_mode ->
   name:string ->
   Sg.t ->
   report
@@ -98,6 +107,7 @@ val optimize_all :
   ?keep_conc:Search.keep ->
   ?perf_delays:(Stg.label -> int) ->
   ?max_cycle:int ->
+  ?area_mode:Search.area_mode ->
   (string * Sg.t) list ->
   report list
 

@@ -97,6 +97,72 @@ let outcome_repr stg (o : Search.outcome) =
 
 let divergence name = raise (Failure ("__divergence__ " ^ name))
 
+(* Netlist arm: resolve CSC on the spec (bounded; unresolvable specs skip
+   the arm), build the shared netlist, then on EVERY reachable state
+   cross-check the one-pass netlist simulator against a direct evaluation
+   of the synthesized covers, and the [Circuit.conforms] verdict (which
+   runs on the netlist) against the same verdict recomputed from the
+   direct semantics.  Any disagreement is a divergence between the IR
+   (constructor folds, hash-consing, simulation) and the logic it was
+   built from. *)
+let check_netlist sg =
+  if Sg.n_states sg > 500 then None
+  else
+    match Csc.resolve ~max_signals:3 ~work:1_500 sg with
+    | Error _ -> None
+    | Ok res -> (
+        let rsg = res.Csc.sg in
+        let impl = Logic.synthesize rsg in
+        match Circuit.of_impl impl with
+        | exception Invalid_argument _ -> None
+        | circuit ->
+            let driver_of =
+              List.map (fun si -> (si.Logic.signal, si.Logic.driver))
+                impl.Logic.per_signal
+            in
+            let mismatch = ref None in
+            let spec_disagrees = ref None in
+            for s = 0 to Sg.n_states rsg - 1 do
+              let code = Sg.code_bits rsg s in
+              let direct i =
+                let ev cover = Boolf.Cover.covers cover code in
+                match List.assoc i driver_of with
+                | Logic.Sop cover -> ev cover
+                | Logic.Gc { set; reset } ->
+                    ev set || (Sg.value rsg s i = 1 && not (ev reset))
+              in
+              List.iter
+                (fun (i, v) ->
+                  if !mismatch = None && v <> direct i then
+                    mismatch := Some (s, i);
+                  (* independent conformance verdict for this (state,
+                     signal): excitation from the direct semantics vs the
+                     specification's enabled events *)
+                  let excited = direct i <> (Sg.value rsg s i = 1) in
+                  let specified =
+                    List.exists
+                      (function
+                        | Stg.Edge (sigid, _) -> sigid = i
+                        | Stg.Dummy _ -> false)
+                      (Sg.enabled_labels rsg s)
+                  in
+                  if !spec_disagrees = None && excited <> specified then
+                    spec_disagrees := Some (s, i))
+                (Circuit.next_values circuit ~state:s)
+            done;
+            (match !mismatch with
+            | Some (s, i) ->
+                divergence
+                  (Printf.sprintf "netlist sim vs covers (state %d signal %d)"
+                     s i)
+            | None -> ());
+            (* conforms runs on the netlist; it must agree with the
+               verdict recomputed from the direct cover semantics *)
+            let conforms_ok = Circuit.conforms circuit = Ok () in
+            if conforms_ok <> (!spec_disagrees = None) then
+              divergence "Circuit.conforms vs direct-semantics verdict";
+            Some ())
+
 let run_case ?pool ?(record = false) case =
   let phase = ref "generate" in
   (* A fresh cover cache for the calling domain: the sequential arms (the
@@ -165,6 +231,8 @@ let run_case ?pool ?(record = false) case =
                         ("memo/pooled", `Memo);
                         ("delta/pooled", `Delta);
                       ]);
+                phase := "netlist";
+                ignore (check_netlist sg : unit option);
                 phase := "realize";
                 if best.Search.applied = [] then Pass
                 else

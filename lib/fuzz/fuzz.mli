@@ -5,9 +5,13 @@
     whole pipeline: [.g] print/parse round-trip, SG construction,
     {!Search.optimize} under all three evaluation modes
     ([`Scratch]/[`Memo]/[`Delta]) sequentially and pooled — all six
-    outcomes must be byte-identical — then STG realization of the best
-    reduced SG (causality places, falling back to region synthesis) and
-    verification.
+    outcomes must be byte-identical — a netlist arm (CSC-resolve the
+    spec, build the hash-consed {!Netlist}, and on every reachable state
+    cross-check the one-pass simulator against direct cover evaluation
+    and the {!Circuit.conforms} verdict against the direct-semantics
+    verdict; unresolvable specs skip the arm) — then STG realization of
+    the best reduced SG (causality places, falling back to region
+    synthesis) and verification.
 
     Every failure is {e triaged} into a fixed taxonomy (crash /
     inconsistent / divergence / verify-fail), minimized with the

@@ -19,11 +19,36 @@ type outcome = {
 type keep = (Stg.label * Stg.label) list
 
 type eval_mode = [ `Scratch | `Memo | `Delta ]
+type area_mode = [ `Tree | `Shared ]
+
+(* Post-sharing area of an evaluation's covers, plus the same
+   conflict-pressure term the literal estimate folds in, converted to
+   area units (one 2-input gate per penalty point). *)
+let shared_estimate (logic : Logic.eval) sg =
+  let nsig = Stg.n_signals (Sg.stg sg) in
+  let covers =
+    List.map
+      (fun ps -> (ps.Logic.ps_signal, ps.Logic.ps_cover))
+      logic.Logic.e_sigs
+  in
+  let conflicts =
+    List.fold_left (fun acc ps -> acc + ps.Logic.ps_conflicts) 0
+      logic.Logic.e_sigs
+  in
+  Netlist.shared_area ~nsig covers
+  + (conflicts * logic.Logic.e_penalty * Logic.gate_cost_2input)
 
 (* Price an already-computed logic evaluation: the cost function of Sec. 7
-   over [Logic.total] and the CSC-conflict count. *)
-let price ~w ~csc_weight logic sg applied =
-  let logic_estimate = Logic.total logic in
+   over the logic estimate and the CSC-conflict count.  [`Tree] estimates
+   logic by [Logic.total] (literals, each signal an independent tree);
+   [`Shared] prices the post-sharing netlist area instead, so a candidate
+   whose covers share subcones is cheaper than one whose covers do not. *)
+let price ~w ~csc_weight ~area_mode logic sg applied =
+  let logic_estimate =
+    match area_mode with
+    | `Tree -> Logic.total logic
+    | `Shared -> shared_estimate logic sg
+  in
   let csc_pairs = Sg.csc_conflict_count sg in
   let cost =
     (w *. float_of_int logic_estimate)
@@ -31,8 +56,9 @@ let price ~w ~csc_weight logic sg applied =
   in
   { sg; applied; cost; logic_estimate; csc_pairs; logic }
 
-let evaluate ?(w = 0.5) ?(csc_weight = 8.0) ?(memo = false) sg =
-  price ~w ~csc_weight (Logic.evaluate ~memo sg) sg []
+let evaluate ?(w = 0.5) ?(csc_weight = 8.0) ?(memo = false)
+    ?(area_mode = `Tree) sg =
+  price ~w ~csc_weight ~area_mode (Logic.evaluate ~memo sg) sg []
 
 let in_keep keep a b =
   List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) keep
@@ -110,7 +136,7 @@ let c_steal = Obs.Counter.make "search.steal"
 
 let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
     ?(max_levels = max_int) ?(csc_weight = 8.0) ?perf_delays ?max_cycle
-    ?(eval_mode = `Delta) sg0 =
+    ?(eval_mode = `Delta) ?(area_mode = `Tree) sg0 =
   Obs.span "search.optimize" @@ fun () ->
   (* Performance constraint: when both [perf_delays] and [max_cycle] are
      given, a configuration only survives if the timed replay of its SG has
@@ -141,10 +167,10 @@ let optimize ?pool ?(w = 0.5) ?(size_frontier = 4) ?(keep_conc = [])
       | `Memo -> Logic.evaluate ~memo:true sg'
       | `Delta -> Logic.estimate_delta ~parent:parent.logic ~dropped:a ~delta sg'
     in
-    price ~w ~csc_weight logic sg' applied_rev
+    price ~w ~csc_weight ~area_mode logic sg' applied_rev
   in
   let initial =
-    price ~w ~csc_weight
+    price ~w ~csc_weight ~area_mode
       (Logic.evaluate ~memo:(eval_mode <> `Scratch) sg0)
       sg0 []
   in

@@ -53,6 +53,19 @@ type keep = (Stg.label * Stg.label) list
       provably left them unchanged, the rest memoized. *)
 type eval_mode = [ `Scratch | `Memo | `Delta ]
 
+(** How a candidate's logic complexity enters the cost function:
+
+    - [`Tree] (default) — {!Logic.total}: literal counts, every signal's
+      cover priced as an independent tree.  The historical objective;
+      all existing differential suites pin it.
+    - [`Shared] — post-sharing area of the candidate's covers on the
+      hash-consed netlist ({!Netlist.shared_area}) plus the same
+      conflict-pressure term in area units: a candidate whose signals
+      share subcones is genuinely cheaper, matching what {!Techmap}
+      will pay after mapping.  Deterministic and pool-safe (a pure
+      function of the covers). *)
+type area_mode = [ `Tree | `Shared ]
+
 (** [optimize ?pool ?w ?size_frontier ?keep_conc ?max_levels sg] runs the
     search.  [w] (default 0.5) trades logic complexity ([w -> 1]) against
     CSC conflicts ([w -> 0]).  [size_frontier] defaults to 4.
@@ -82,13 +95,20 @@ val optimize :
   ?perf_delays:(Stg.label -> int) ->
   ?max_cycle:int ->
   ?eval_mode:eval_mode ->
+  ?area_mode:area_mode ->
   Sg.t ->
   outcome
 
 (** Evaluate one SG with the search's cost function.  [memo] (default
     false) routes the logic minimizations through {!Boolf.Memo}; the
-    result is identical either way. *)
-val evaluate : ?w:float -> ?csc_weight:float -> ?memo:bool -> Sg.t -> config
+    result is identical either way.  [area_mode] defaults to [`Tree]. *)
+val evaluate :
+  ?w:float ->
+  ?csc_weight:float ->
+  ?memo:bool ->
+  ?area_mode:area_mode ->
+  Sg.t ->
+  config
 
 (** Apply a fixed reduction script [(a, b), ...] in order, skipping invalid
     steps; returns the final SG and the steps that actually applied.  Used

@@ -126,11 +126,7 @@ let map_cover ~nvars cover =
 
 let c_map = Obs.Counter.make "techmap.map.calls"
 
-let map_impl (impl : Logic.impl) =
-  if Logic.conflicts impl > 0 then
-    invalid_arg "Techmap.map_impl: CSC conflicts remain";
-  Obs.Counter.incr c_map;
-  Obs.span "techmap.map" @@ fun () ->
+let map_impl_tree (impl : Logic.impl) =
   let nvars = Stg.n_signals (Sg.stg impl.Logic.sg) in
   let per_driver d =
     match d with
@@ -150,6 +146,105 @@ let map_impl (impl : Logic.impl) =
       zero impl.Logic.per_signal
   in
   mapping_of_choice total
+
+(* ------------------------------------------------------------------ *)
+(* Fanout-aware DAG covering.                                          *)
+
+(* The shared graph is partitioned into fanout-free trees: a live node
+   realizes its own positive-polarity net (a "root") when it drives an
+   output signal or is referenced more than once; everything below a
+   root down to the next root/input is one tree handed to the same
+   dual-polarity DP as the tree mapper.  A root referenced by several
+   cones is paid for once; a reference costs nothing in positive
+   polarity (an Inv in negative), exactly like an input literal.
+
+   Inverters of inputs are never made roots: a use site sees them as a
+   negative literal, so the DP keeps the freedom to absorb the negation
+   into NAND/NOR/AOI/OAI cells.  An inverter of an interior node forces
+   its child to become a root (the tree grammar has no interior
+   negation); such nodes do not occur in SOP-built netlists. *)
+let map_netlist (nl : Netlist.t) =
+  let n = Netlist.node_count nl in
+  let is_root = Array.make n false in
+  List.iter (fun (_, u) -> is_root.(u) <- true) (Netlist.outputs nl);
+  Netlist.iter nl (fun u nd ->
+      match nd with
+      | Netlist.Input _ | Netlist.Const _ -> ()
+      | Netlist.Inv a ->
+          (match Netlist.node nl a with
+          | Netlist.Input _ -> ()
+          | _ -> is_root.(a) <- true);
+          if Netlist.fanout nl u > 1 then is_root.(u) <- true
+      | Netlist.And2 _ | Netlist.Or2 _ | Netlist.Celem _ ->
+          if Netlist.fanout nl u > 1 then is_root.(u) <- true);
+  (* Output signal nets must exist in positive polarity; a pure fanout
+     root may realize whichever polarity its own cone maps cheaper
+     (e.g. a NAND2 instead of an AND2), consumers paying an INV for the
+     flip.  Decided bottom-up, so a root's cone sees the polarity of
+     the roots below it. *)
+  let drives_output = Array.make n false in
+  List.iter (fun (_, u) -> drives_output.(u) <- true) (Netlist.outputs nl);
+  let realized_neg = Array.make n false in
+  (* Leaf variables: signal v is v, a reference to root u is nsig + u
+     (the DP only looks at the polarity). *)
+  let nsig = Netlist.n_signals nl in
+  let ref_leaf ~negated u =
+    Lit (nsig + u, if negated then realized_neg.(u) else not realized_neg.(u))
+  in
+  (* [tree_of ~root u] — the cone of [u] inside [root]'s tree, cut at
+     other roots and inputs. *)
+  let rec tree_of ~root u =
+    if u <> root && is_root.(u) then ref_leaf ~negated:false u
+    else
+      match Netlist.node nl u with
+      | Netlist.Input i -> Lit (i, true)
+      | Netlist.Const b -> Const b
+      | Netlist.Inv a -> (
+          match Netlist.node nl a with
+          | Netlist.Input i -> Lit (i, false)
+          | _ -> ref_leaf ~negated:true a (* [a] was forced to be a root *))
+      | Netlist.And2 (a, b) -> And (tree_of ~root a, tree_of ~root b)
+      | Netlist.Or2 (a, b) -> Or (tree_of ~root a, tree_of ~root b)
+      | Netlist.Celem _ ->
+          invalid_arg "Techmap.map_netlist: C-element inside a cone"
+  in
+  let total = ref zero in
+  let account c = total := { cost = !total.cost + c.cost; used = c.used @ !total.used } in
+  Netlist.iter nl (fun u nd ->
+      if is_root.(u) then
+        match nd with
+        | Netlist.Input _ | Netlist.Const _ -> () (* wire / tie cell, area 0 *)
+        | Netlist.Celem { set; reset; _ } ->
+            (* A set/reset net that is itself a root is mapped on its
+               own; the C-element just references it. *)
+            let arg a =
+              if is_root.(a) then ref_leaf ~negated:false a
+              else tree_of ~root:a a
+            in
+            let sp, _ = solve (arg set) in
+            let rp, _ = solve (arg reset) in
+            account (add Celem [ sp; rp ])
+        | Netlist.Inv _ | Netlist.And2 _ | Netlist.Or2 _ ->
+            let pos, neg = solve (tree_of ~root:u u) in
+            if drives_output.(u) || pos.cost <= neg.cost then account pos
+            else begin
+              realized_neg.(u) <- true;
+              account neg
+            end);
+  mapping_of_choice !total
+
+let map_impl (impl : Logic.impl) =
+  if Logic.conflicts impl > 0 then
+    invalid_arg "Techmap.map_impl: CSC conflicts remain";
+  Obs.Counter.incr c_map;
+  Obs.span "techmap.map" @@ fun () ->
+  let shared = map_netlist (Netlist.of_impl impl) in
+  let tree = map_impl_tree impl in
+  (* Cutting the DAG at fanout boundaries pins those nets to positive
+     polarity; when that costs more than duplication saves, keep the
+     duplicated trees.  The mapped area is therefore never worse than
+     the per-signal tree decomposition. *)
+  if shared.area <= tree.area then shared else tree
 
 let render m =
   let cells =

@@ -32,8 +32,24 @@ type mapping = {
     indices. *)
 val map_cover : nvars:int -> Boolf.Cover.t -> mapping
 
-(** Map a whole implementation: every signal's driver, C-elements
-    included.
+(** Cover a shared gate graph, fanout-aware: the DAG is partitioned into
+    fanout-free trees at multi-reference boundaries, each tree is covered
+    by the dual-polarity DP, and a node referenced by several cones is
+    paid for once (a reference is free in positive polarity, an INV in
+    negative).  Pure logic — accepts netlists of conflicting
+    implementations. *)
+val map_netlist : Netlist.t -> mapping
+
+(** The pre-sharing baseline: every signal's driver covered as an
+    independent tree (identical subcovers duplicated across signals).
+    Pure logic — no conflict check. *)
+val map_impl_tree : Logic.impl -> mapping
+
+(** Map a whole implementation over its shared netlist
+    ({!Netlist.of_impl} + {!map_netlist}), falling back to
+    {!map_impl_tree} when cutting at fanout boundaries maps worse than
+    duplicating — the result is never larger than the tree
+    decomposition.
     @raise Invalid_argument when CSC conflicts remain. *)
 val map_impl : Logic.impl -> mapping
 

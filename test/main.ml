@@ -29,6 +29,7 @@ let () =
       ("regions", Test_regions.suite);
       ("search", Test_search.suite);
       ("flow", Test_flow.suite);
+      ("netlist", Test_netlist.suite);
       ("circuit", Test_circuit.suite);
       ("contract", Test_contract.suite);
       ("specs", Test_specs.suite);

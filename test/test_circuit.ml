@@ -18,6 +18,16 @@ out- in+
 .end
 |})
 
+(* Reachable state whose signal values match [want] (signal id ->
+   value), for driving [Circuit.next_values] by state. *)
+let state_with_values sg want =
+  let rec find s =
+    if s >= Sg.n_states sg then Alcotest.fail "no state with wanted values"
+    else if List.for_all (fun (i, v) -> Sg.value sg s i = v) want then s
+    else find (s + 1)
+  in
+  find 0
+
 let test_wire_circuit () =
   let sg = buffer_sg () in
   let impl = Logic.synthesize sg in
@@ -26,10 +36,12 @@ let test_wire_circuit () =
   check_int "no real gates" 0 (Circuit.gate_count c);
   check "conforms" true (Circuit.conforms c = Ok ());
   (* next_values: out follows in. *)
+  let in_high = state_with_values sg [ (0, 1); (1, 0) ] in
+  let in_low = state_with_values sg [ (0, 0); (1, 1) ] in
   check "out rises when in high" true
-    (Circuit.next_values c ~code:0b01 = [ (1, true) ]);
+    (Circuit.next_values c ~state:in_high = [ (1, true) ]);
   check "out falls when in low" true
-    (Circuit.next_values c ~code:0b10 = [ (1, false) ])
+    (Circuit.next_values c ~state:in_low = [ (1, false) ])
 
 let test_verilog () =
   let sg = buffer_sg () in
@@ -54,8 +66,12 @@ let test_area_matches_logic_lr () =
   | Ok r ->
       let impl = Logic.synthesize r.Csc.sg in
       let c = Circuit.of_impl impl in
-      check_int "decomposed area = area model" (Logic.area impl)
-        (Circuit.area c);
+      (* Hash-consing shares subcones across signals, so the realized
+         area is at most the tree model's — and on LR strictly less. *)
+      check "decomposed area <= area model" true
+        (Circuit.area c <= Logic.area impl);
+      check "sharing strictly improves on LR" true
+        (Circuit.area c < Logic.area impl);
       check "conforms" true (Circuit.conforms c = Ok ());
       check "has real gates" true (Circuit.gate_count c > 0)
 
@@ -102,10 +118,10 @@ let prop_synthesized_circuits_conform =
       | Ok r ->
           let impl = Logic.synthesize r.Csc.sg in
           let c = Circuit.of_impl impl in
-          Circuit.conforms c = Ok () && Circuit.area c = Logic.area impl)
+          Circuit.conforms c = Ok () && Circuit.area c <= Logic.area impl)
 
 let prop_rings_conform =
-  QCheck.Test.make ~name:"ring circuits conform and match the area model"
+  QCheck.Test.make ~name:"ring circuits conform within the area model"
     ~count:20
     QCheck.(pair (int_range 1 6) (int_range 0 2))
     (fun (n, inputs) ->
@@ -113,13 +129,13 @@ let prop_rings_conform =
       let sg = Gen.sg_exn (Gen.ring ~inputs n) in
       let impl = Logic.synthesize sg in
       let c = Circuit.of_impl impl in
-      Circuit.conforms c = Ok () && Circuit.area c = Logic.area impl)
+      Circuit.conforms c = Ok () && Circuit.area c <= Logic.area impl)
 
 let suite =
   [
     Alcotest.test_case "wire circuit" `Quick test_wire_circuit;
     Alcotest.test_case "verilog rendering" `Quick test_verilog;
-    Alcotest.test_case "area matches Logic (LR)" `Quick
+    Alcotest.test_case "area bounded by Logic (LR)" `Quick
       test_area_matches_logic_lr;
     Alcotest.test_case "rejects conflicts" `Quick test_of_impl_rejects_conflicts;
     Alcotest.test_case "violation detection" `Quick test_violation_detection;
