@@ -1425,6 +1425,196 @@ let json_pr8 ~smoke out_file =
     examples
 
 (* ------------------------------------------------------------------ *)
+(* PR 9: portfolio search.  Baseline: the PR 6 delta path run once per  *)
+(* arm — K standalone pooled searches, summed — vs ONE portfolio run    *)
+(* over the same arms, pool and streaming session.  Per-arm byte        *)
+(* identity against the standalone searches (sequential and pooled,     *)
+(* speculation on and off) is a hard gate; the >= 2x speed gate only    *)
+(* arms on a genuinely multicore box (>= 4 effective domains), because  *)
+(* the portfolio's win is cross-arm sharing plus parallelism and a      *)
+(* 1-2 core container can only show the sharing half.                   *)
+
+let json_pr9 ~smoke out_file =
+  let specs =
+    [
+      ("lr", Expansion.four_phase Specs.lr, 6);
+      ("par", Expansion.four_phase Specs.par, 4);
+      ("mmu", Expansion.four_phase Specs.mmu, 4);
+    ]
+    |> List.map (fun (name, stg, width) ->
+           (name, stg, Core.sg_exn stg, width))
+  in
+  let arms =
+    [
+      { Search.arm_w = 0.8; arm_area = `Tree };
+      { Search.arm_w = 0.5; arm_area = `Tree };
+      { Search.arm_w = 0.3; arm_area = `Tree };
+      { Search.arm_w = 0.8; arm_area = `Shared };
+    ]
+  in
+  let n_arms = List.length arms in
+  let pool_jobs = max 2 !requested_jobs in
+  let passes = if smoke then 1 else 5 in
+  (* Timing mode follows the host: with real cores for the domains, time
+     the pooled paths (what CI and any multicore user runs); on a serial
+     host domains only add contention, so time the sequential paths —
+     the mode the flow actually selects there.  Identity below always
+     checks both. *)
+  let serial_host = Pool.default_jobs () < 2 in
+  Pool.with_pool ~jobs:pool_jobs @@ fun p ->
+  let timing_pool = if serial_host then None else Some p in
+  (* Per-arm standalone searches: the PR 6 way to explore K cost
+     weightings is K independent runs — their sum is the baseline. *)
+  let standalone_ns =
+    Harness.min_over_passes ~tag:"standalone" ~passes
+      (List.concat_map
+         (fun (name, _, sg, width) ->
+           List.mapi
+             (fun i a ->
+               ( Printf.sprintf "%s_arm%d" name i,
+                 fun () ->
+                   ignore
+                     (Search.optimize ?pool:timing_pool ~w:a.Search.arm_w
+                        ~area_mode:a.Search.arm_area ~size_frontier:width sg)
+               ))
+             arms)
+         specs)
+  in
+  let portfolio_ns =
+    Harness.min_over_passes ~tag:"portfolio" ~passes
+      (List.map
+         (fun (name, _, sg, width) ->
+           ( name,
+             fun () ->
+               ignore
+                 (Search.portfolio ?pool:timing_pool ~size_frontier:width
+                    ~arms sg) ))
+         specs)
+  in
+  let baseline_sum_ns =
+    List.map
+      (fun (name, _, _, _) ->
+        ( name,
+          List.fold_left ( +. ) 0.
+            (List.mapi
+               (fun i _ ->
+                 List.assoc (Printf.sprintf "%s_arm%d" name i) standalone_ns)
+               arms) ))
+      specs
+  in
+  let speedup = Harness.ratio baseline_sum_ns portfolio_ns in
+  (* Cross-arm table and speculation totals over one pooled run each. *)
+  let stats =
+    List.map
+      (fun (name, _, sg, width) ->
+        let po = Search.portfolio ~pool:p ~size_frontier:width ~arms sg in
+        let st = po.Search.stats in
+        let evals = st.Search.table_hits + st.Search.table_misses in
+        ( name,
+          Printf.sprintf
+            "{ \"table_hits\": %d, \"table_misses\": %d, \"hit_rate\": %.3f, \
+             \"spec_published\": %d, \"spec_hits\": %d, \"spec_waste\": %d }"
+            st.Search.table_hits st.Search.table_misses
+            (if evals = 0 then 0.0
+             else float_of_int st.Search.table_hits /. float_of_int evals)
+            st.Search.spec_published st.Search.spec_hits
+            (st.Search.spec_published - st.Search.spec_hits) ))
+      specs
+  in
+  (* Byte identity: every arm of every portfolio variant must render the
+     same outcome as its standalone sequential search. *)
+  let identity =
+    List.map
+      (fun (name, stg, sg, width) ->
+        let refs =
+          List.map
+            (fun a ->
+              pr6_outcome_repr stg
+                (Search.optimize ~w:a.Search.arm_w ~area_mode:a.Search.arm_area
+                   ~size_frontier:width sg))
+            arms
+        in
+        let matches po =
+          List.for_all2
+            (fun r (ao : Search.arm_outcome) ->
+              String.equal r (pr6_outcome_repr stg ao.Search.outcome))
+            refs
+            (Array.to_list po.Search.arms)
+        in
+        let ok =
+          matches (Search.portfolio ~size_frontier:width ~arms sg)
+          && matches (Search.portfolio ~pool:p ~size_frontier:width ~arms sg)
+          && matches
+               (Search.portfolio ~pool:p ~size_frontier:width ~speculate:false
+                  ~arms sg)
+        in
+        Printf.eprintf "identity %-23s %s\n%!" name
+          (if ok then "ok" else "DIVERGED");
+        (name, string_of_bool ok))
+      specs
+  in
+  (* The MMU search amortized per arm, against the recorded PR 6 delta
+     baseline and against this box's own PR 6-path re-measurement (arm 0
+     standalone is exactly the PR 6 delta search at w=0.8, pooled or
+     sequential per the timing mode). *)
+  let mmu_per_arm = List.assoc "mmu" portfolio_ns /. float_of_int n_arms in
+  let mmu_remeasured = List.assoc "mmu_arm0" standalone_ns in
+  let j = Harness.Json.create () in
+  Harness.Json.str j "bench" "BENCH_PR9";
+  Harness.Json.bool j "smoke" smoke;
+  Harness.Json.str j "units" "ns_per_run";
+  Harness.Json.int j "pool_jobs" pool_jobs;
+  Harness.Json.int j "host_default_jobs" (Pool.default_jobs ());
+  Harness.Json.str j "timing_mode"
+    (if serial_host then "sequential" else "pooled");
+  Harness.Json.raw j "arms"
+    (Printf.sprintf "[ %s ]"
+       (String.concat ", "
+          (List.map
+             (fun a ->
+               Printf.sprintf "{ \"w\": %.2f, \"area\": \"%s\" }"
+                 a.Search.arm_w
+                 (match a.Search.arm_area with
+                 | `Tree -> "tree"
+                 | `Shared -> "shared"))
+             arms)));
+  Harness.Json.obj j "standalone_arm_ns" standalone_ns;
+  Harness.Json.obj j "baseline_sum_ns" baseline_sum_ns;
+  Harness.Json.obj j "portfolio_ns" portfolio_ns;
+  Harness.Json.obj ~fmt:"%.2f" j "speedup_vs_arm_sum" speedup;
+  Harness.Json.raw j "mmu_portfolio_per_arm_ns"
+    (Printf.sprintf "%.0f" mmu_per_arm);
+  Harness.Json.raw j "mmu_pr6_path_remeasured_ns"
+    (Printf.sprintf "%.0f" mmu_remeasured);
+  Harness.Json.raw j "mmu_per_arm_speedup_vs_pr6"
+    (Printf.sprintf "%.2f"
+       (List.assoc "search_optimize_mmu" pr6_baseline_ns /. mmu_per_arm));
+  Harness.Json.raw j "mmu_per_arm_speedup_vs_pr6_same_box"
+    (Printf.sprintf "%.2f"
+       (List.assoc "search_optimize_mmu" pr6_baseline_same_box_ns
+       /. mmu_per_arm));
+  Harness.Json.obj_raw j "portfolio_stats" stats;
+  Harness.Json.obj_raw j "byte_identity" identity;
+  Harness.Json.write j out_file;
+  if List.exists (fun (_, ok) -> ok = "false") identity then begin
+    print_endline
+      "::error title=portfolio identity::a portfolio arm diverged from its \
+       standalone search";
+    exit 1
+  end;
+  let multicore = Pool.jobs p >= 4 && Pool.default_jobs () >= 4 in
+  if (not smoke) && multicore then begin
+    let s = List.assoc "mmu" speedup in
+    if s < 2.0 then begin
+      Printf.printf
+        "::error title=portfolio speed::MMU portfolio only %.2fx the per-arm \
+         baseline sum (>= 2x required on a multicore box)\n"
+        s;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* One full MMU flow pass: the smallest section that exercises every    *)
 (* instrumented phase (parse/expand -> SG -> search -> CSC -> logic ->  *)
 (* mapping), sized for `--trace FILE` runs.                             *)
@@ -1486,6 +1676,18 @@ let () =
     strip args
   in
   if !trace_file <> None || !metrics then Obs.set_enabled true;
+  if List.mem "--json-pr9" args then begin
+    let smoke = List.mem "--smoke" args in
+    let out =
+      match
+        List.filter (fun a -> a <> "--json-pr9" && a <> "--smoke") args
+      with
+      | [ f ] -> f
+      | _ -> "BENCH_PR9.json"
+    in
+    json_pr9 ~smoke out;
+    exit 0
+  end;
   if List.mem "--json-pr8" args then begin
     let smoke = List.mem "--smoke" args in
     let out =

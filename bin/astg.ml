@@ -188,7 +188,9 @@ let synth_cmd =
 (* ---- reduce ---- *)
 
 let reduce_cmd =
-  let run stg w frontier keeps print_stg area_mode trace metrics =
+  let area_name = function `Tree -> "tree" | `Shared -> "shared" in
+  let run stg w frontier keeps print_stg area_mode portfolio no_speculate jobs
+      trace metrics =
     with_obs trace metrics @@ fun () ->
     match sg_or_fail stg with
     | Error msg -> `Error (false, msg)
@@ -205,35 +207,108 @@ let reduce_cmd =
           | Not_found -> failwith "unknown event in --keep"
           | Failure spec -> failwith ("bad --keep syntax: " ^ spec)
         in
-        let outcome =
-          Search.optimize ~w ~size_frontier:frontier ~keep_conc ~area_mode sg
+        let print_reductions best =
+          Printf.printf "reductions applied: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (a, b) ->
+                    Printf.sprintf "%s after %s" (Stg.label_name stg a)
+                      (Stg.label_name stg b))
+                  best.Search.applied))
         in
-        let best = outcome.Search.best in
-        Printf.printf
-          "explored %d configurations over %d levels; best cost %.1f\n"
-          outcome.Search.explored outcome.Search.levels best.Search.cost;
-        Printf.printf "reductions applied: %s\n"
-          (String.concat ", "
-             (List.map
-                (fun (a, b) ->
-                  Printf.sprintf "%s after %s" (Stg.label_name stg a)
-                    (Stg.label_name stg b))
-                best.Search.applied));
-        if not print_stg then `Ok ()
-        else
-          let realized =
-            match Reduction.realize ~applied:best.Search.applied best.Search.sg with
-            | Ok stg' -> Ok stg'
-            | Error _ -> (
-                match Regions.synthesize best.Search.sg with
-                | Ok stg' -> Ok stg'
-                | Error e -> Error (Regions.error_to_string e))
-          in
-          match realized with
-          | Ok stg' ->
-              print_string (Stg.Io.print stg');
-              `Ok ()
-          | Error msg -> `Error (false, "realization failed: " ^ msg))
+        let print_reduced best =
+          if not print_stg then `Ok ()
+          else
+            let realized =
+              match
+                Reduction.realize ~applied:best.Search.applied best.Search.sg
+              with
+              | Ok stg' -> Ok stg'
+              | Error _ -> (
+                  match Regions.synthesize best.Search.sg with
+                  | Ok stg' -> Ok stg'
+                  | Error e -> Error (Regions.error_to_string e))
+            in
+            match realized with
+            | Ok stg' ->
+                print_string (Stg.Io.print stg');
+                `Ok ()
+            | Error msg -> `Error (false, "realization failed: " ^ msg)
+        in
+        match portfolio with
+        | None ->
+            let outcome =
+              Search.optimize ~w ~size_frontier:frontier ~keep_conc ~area_mode
+                sg
+            in
+            let best = outcome.Search.best in
+            Printf.printf
+              "explored %d configurations over %d levels; best cost %.1f\n"
+              outcome.Search.explored outcome.Search.levels best.Search.cost;
+            print_reductions best;
+            print_reduced best
+        | Some spec -> (
+            match
+              try
+                Ok
+                  (List.map
+                     (fun s ->
+                       { Search.arm_w = float_of_string (String.trim s);
+                         arm_area = area_mode })
+                     (String.split_on_char ',' spec))
+              with _ -> Error ()
+            with
+            | Error () ->
+                `Error
+                  ( false,
+                    "bad --portfolio syntax (expected \"w1,w2,...\"): " ^ spec
+                  )
+            | Ok [] -> `Error (false, "--portfolio needs at least one weight")
+            | Ok arms ->
+                let run_portfolio pool =
+                  Search.portfolio ?pool ~size_frontier:frontier ~keep_conc
+                    ~speculate:(not no_speculate)
+                    ~on_improvement:(fun ~arm cfg ->
+                      Printf.printf
+                        "arm %d (w=%.2f, %s): cost %.1f, %d csc pairs, %d \
+                         reductions\n"
+                        arm
+                        (List.nth arms arm).Search.arm_w
+                        (area_name (List.nth arms arm).Search.arm_area)
+                        cfg.Search.cost cfg.Search.csc_pairs
+                        (List.length cfg.Search.applied))
+                    ~arms sg
+                in
+                let po =
+                  if jobs > 1 then
+                    Pool.with_pool ~jobs (fun p -> run_portfolio (Some p))
+                  else run_portfolio None
+                in
+                Array.iteri
+                  (fun i ao ->
+                    let o = ao.Search.outcome in
+                    Printf.printf
+                      "arm %d (w=%.2f, %s): explored %d over %d levels; best \
+                       cost %.1f (yardstick %.1f)%s\n"
+                      i ao.Search.arm.Search.arm_w
+                      (area_name ao.Search.arm.Search.arm_area)
+                      o.Search.explored o.Search.levels o.Search.best.Search.cost
+                      ao.Search.yardstick
+                      (if o.Search.feasible then "" else " INFEASIBLE"))
+                  po.Search.arms;
+                let st = po.Search.stats in
+                Printf.printf
+                  "cross-arm table: %d hits, %d misses; speculation: %d \
+                   published, %d consumed\n"
+                  st.Search.table_hits st.Search.table_misses
+                  st.Search.spec_published st.Search.spec_hits;
+                let won = po.Search.arms.(po.Search.winner) in
+                Printf.printf "winner: arm %d (w=%.2f, %s)\n" po.Search.winner
+                  won.Search.arm.Search.arm_w
+                  (area_name won.Search.arm.Search.arm_area);
+                let best = won.Search.outcome.Search.best in
+                print_reductions best;
+                print_reduced best))
   in
   let w =
     Arg.(
@@ -273,10 +348,39 @@ let reduce_cmd =
              the hash-consed netlist, matching what technology mapping \
              pays).")
   in
+  let portfolio =
+    Arg.(
+      value & opt (some string) None
+      & info [ "portfolio" ] ~docv:"W1,W2,..."
+          ~doc:
+            "Run a portfolio search: one search arm per comma-separated \
+             weight (all priced with the selected $(b,--area-model)), \
+             sharing a cross-arm signature table.  Prints each arm's \
+             anytime improvements, a per-arm summary and the winner.  \
+             $(b,--w) is ignored.")
+  in
+  let no_speculate =
+    Arg.(
+      value & flag
+      & info [ "no-speculate" ]
+          ~doc:
+            "Disable speculative pre-evaluation of likely candidates by \
+             idle pool workers (portfolio mode with $(b,--jobs) > 1 \
+             only).  The outcome is identical either way.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Pool size for the portfolio search (1 = sequential).  Every \
+             arm's outcome is byte-identical at any job count.")
+  in
   Cmd.v
     (Cmd.info "reduce" ~doc:"Optimize an STG by concurrency reduction.")
     Term.(ret (const run $ file_pos $ w $ frontier $ keeps $ print_stg
-          $ area_mode $ trace_arg $ metrics_arg))
+          $ area_mode $ portfolio $ no_speculate $ jobs $ trace_arg
+          $ metrics_arg))
 
 (* ---- fuzz ---- *)
 

@@ -192,17 +192,48 @@ let optimize ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
       | None -> None);
   }
 
+let optimize_portfolio ?pool ?delays ?max_csc ?style ?size_frontier ?keep_conc
+    ?perf_delays ?max_cycle ?speculate ?on_improvement ~arms ~name sg =
+  Obs.span ~args:[ ("name", name) ] "core.optimize_portfolio" @@ fun () ->
+  let po =
+    Search.portfolio ?pool ?size_frontier ?keep_conc ?perf_delays ?max_cycle
+      ?speculate ?on_improvement ~arms sg
+  in
+  let won = po.Search.arms.(po.Search.winner) in
+  let best = won.Search.outcome.Search.best in
+  let r =
+    implement_realized ?delays ?max_csc ?style ~name best.Search.sg
+      best.Search.applied
+  in
+  let r =
+    {
+      r with
+      feasible =
+        (match max_cycle with
+        | Some _ -> Some won.Search.outcome.Search.feasible
+        | None -> None);
+    }
+  in
+  (r, po)
+
 (* Batched multi-spec driver: one pool shared across every spec's search.
    Specs run in sequence (each search parallelizes internally), so the
    per-spec reports are exactly those of individual [optimize] calls. *)
 let optimize_all ?pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
-    ?perf_delays ?max_cycle ?area_mode specs =
+    ?perf_delays ?max_cycle ?area_mode ?arms ?on_improvement specs =
   Obs.span "core.optimize_all" @@ fun () ->
   let run pool =
     List.map
       (fun (name, sg) ->
-        optimize ~pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
-          ?perf_delays ?max_cycle ?area_mode ~name sg)
+        match arms with
+        | Some (_ :: _ as arms) ->
+            fst
+              (optimize_portfolio ~pool ?delays ?max_csc ?style ?size_frontier
+                 ?keep_conc ?perf_delays ?max_cycle ?on_improvement ~arms ~name
+                 sg)
+        | Some [] | None ->
+            optimize ~pool ?delays ?max_csc ?style ?w ?size_frontier ?keep_conc
+              ?perf_delays ?max_cycle ?area_mode ~name sg)
       specs
   in
   match pool with

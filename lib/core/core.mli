@@ -92,11 +92,39 @@ val optimize :
   Sg.t ->
   report
 
+(** [optimize_portfolio ~arms ~name sg] — run the {!Search.portfolio}
+    search (one beam search per arm sharing a cross-arm signature table
+    and, with [pool], one streaming session with speculative evaluation),
+    then implement the winning arm's best configuration.  Returns the
+    report together with the full per-arm portfolio outcome so callers
+    can render the losing arms too.  [on_improvement] streams the
+    anytime best-so-far per arm on the caller's thread, in deterministic
+    order (see {!Search.portfolio}). *)
+val optimize_portfolio :
+  ?pool:Pool.t ->
+  ?delays:(Stg.t -> Petri.trans -> int) ->
+  ?max_csc:int ->
+  ?style:Logic.style ->
+  ?size_frontier:int ->
+  ?keep_conc:Search.keep ->
+  ?perf_delays:(Stg.label -> int) ->
+  ?max_cycle:int ->
+  ?speculate:bool ->
+  ?on_improvement:(arm:int -> Search.config -> unit) ->
+  arms:Search.arm list ->
+  name:string ->
+  Sg.t ->
+  report * Search.portfolio_outcome
+
 (** [optimize_all specs] — {!optimize} over a [(name, sg)] batch, sharing
     one pool across every spec (heavy multi-spec traffic amortizes domain
     spawns).  Without [pool], a pool of {!Pool.default_jobs} workers is
     created for the batch and shut down afterwards.  Reports are returned
-    in input order and are identical to per-spec {!optimize} results. *)
+    in input order and are identical to per-spec {!optimize} results.
+
+    With a non-empty [arms], each spec instead runs
+    {!optimize_portfolio} over those arms ([w]/[area_mode] are ignored)
+    and the report describes the winning arm's implementation. *)
 val optimize_all :
   ?pool:Pool.t ->
   ?delays:(Stg.t -> Petri.trans -> int) ->
@@ -108,6 +136,8 @@ val optimize_all :
   ?perf_delays:(Stg.label -> int) ->
   ?max_cycle:int ->
   ?area_mode:Search.area_mode ->
+  ?arms:Search.arm list ->
+  ?on_improvement:(arm:int -> Search.config -> unit) ->
   (string * Sg.t) list ->
   report list
 

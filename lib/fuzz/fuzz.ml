@@ -231,6 +231,44 @@ let run_case ?pool ?(record = false) case =
                         ("memo/pooled", `Memo);
                         ("delta/pooled", `Delta);
                       ]);
+                phase := "portfolio";
+                (* Portfolio arm: every arm of a portfolio run — sequential
+                   or pooled, speculation on or off — must be byte-identical
+                   to its standalone [Search.optimize] counterpart.  Arm 0
+                   is the campaign's reference search; arm 1 costs one extra
+                   standalone run. *)
+                let arms =
+                  [
+                    { Search.arm_w = search_w; arm_area = `Tree };
+                    { Search.arm_w = 0.5; arm_area = `Tree };
+                  ]
+                in
+                let standalone =
+                  [|
+                    reference;
+                    outcome_repr stg
+                      (Search.optimize ~w:0.5 ~size_frontier:search_frontier
+                         sg);
+                  |]
+                in
+                let check_portfolio name ?pool () =
+                  let po =
+                    Search.portfolio ?pool ~size_frontier:search_frontier
+                      ~arms sg
+                  in
+                  Array.iteri
+                    (fun i ao ->
+                      if
+                        not
+                          (String.equal standalone.(i)
+                             (outcome_repr stg ao.Search.outcome))
+                      then divergence (Printf.sprintf "%s arm %d" name i))
+                    po.Search.arms
+                in
+                check_portfolio "portfolio/seq" ();
+                (match pool with
+                | None -> ()
+                | Some p -> check_portfolio "portfolio/pooled" ~pool:p ());
                 phase := "netlist";
                 ignore (check_netlist sg : unit option);
                 phase := "realize";

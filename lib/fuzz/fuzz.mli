@@ -75,7 +75,11 @@ type report = {
           sorted by name; deterministic per seed *)
 }
 
-(** Run one case through the full flow.  [record] (default false) turns
+(** Run one case through the full flow: round-trip, SG, the search in
+    every eval mode (sequential, and pooled when [pool] is given), a
+    two-arm {!Search.portfolio} run (sequential, and pooled with
+    speculation) checked arm-by-arm against standalone searches, netlist
+    cross-checks and realization.  [record] (default false) turns
     observability recording on for the sequential searches and off for
     the pooled ones (so captured counters stay deterministic); the
     calling domain's {!Boolf.Memo} table is cleared first either way. *)

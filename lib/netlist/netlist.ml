@@ -26,18 +26,53 @@ module Builder = struct
     tbl : (node, uid) Hashtbl.t;
   }
 
+  (* Append without touching the hit/miss counters: the pre-interned
+     rails below are unconditional construction, not sharing requests. *)
+  let append b nd =
+    if b.n = Array.length b.nodes then begin
+      let bigger = Array.make (2 * b.n) (Const false) in
+      Array.blit b.nodes 0 bigger 0 b.n;
+      b.nodes <- bigger
+    end;
+    let u = b.n in
+    b.nodes.(u) <- nd;
+    b.n <- u + 1;
+    Hashtbl.replace b.tbl nd u;
+    u
+
+  (* Both constants and every input rail are interned up front: the
+     rails physically exist whatever the covers reference, their uids
+     become stable ([false] = 0, [true] = 1, signal [i] = [i + 2]), and
+     every later [input]/[const] call is a pure table hit — so the
+     cons-table hit rate measures sharing of {e gate structure} instead
+     of being dragged down by first-touch rail interning (the AHB
+     arbiter's 0.10 in BENCH_PR8 was exactly that artifact: its two
+     drivers share no gates, only rails). *)
   let create ~nsig =
     if nsig < 0 then invalid_arg "Netlist.Builder.create: negative nsig";
-    { nsig; nodes = Array.make 64 (Const false); n = 0; tbl = Hashtbl.create 64 }
+    let b =
+      {
+        nsig;
+        nodes = Array.make (max 64 (nsig + 2)) (Const false);
+        n = 0;
+        tbl = Hashtbl.create 64;
+      }
+    in
+    ignore (append b (Const false) : uid);
+    ignore (append b (Const true) : uid);
+    for i = 0 to nsig - 1 do
+      ignore (append b (Input i) : uid)
+    done;
+    b
 
   let n_nodes b = b.n
 
   let node b u = b.nodes.(u)
 
-  (* The one place nodes enter the store: structural key -> existing uid,
-     or append.  Children are uids of existing nodes, so every node's
-     children have strictly smaller uids — ascending uid IS topological
-     order, for free. *)
+  (* The one place nodes enter the store after [create]: structural key
+     -> existing uid, or append.  Children are uids of existing nodes, so
+     every node's children have strictly smaller uids — ascending uid IS
+     topological order, for free. *)
   let cons b nd =
     match Hashtbl.find_opt b.tbl nd with
     | Some u ->
@@ -45,16 +80,7 @@ module Builder = struct
         u
     | None ->
         Obs.Counter.incr c_miss;
-        if b.n = Array.length b.nodes then begin
-          let bigger = Array.make (2 * b.n) (Const false) in
-          Array.blit b.nodes 0 bigger 0 b.n;
-          b.nodes <- bigger
-        end;
-        let u = b.n in
-        b.nodes.(u) <- nd;
-        b.n <- u + 1;
-        Hashtbl.replace b.tbl nd u;
-        u
+        append b nd
 
   let const b v = cons b (Const v)
 
@@ -139,21 +165,28 @@ module Builder = struct
         input b sig_
     | _ -> cons b (Celem { set; reset; sig_ })
 
-  (* SOP through the smart constructors: AND chain per cube (variables
-     ascending), OR chain over cubes in cover order.  Equal sub-chains
-     across cubes, covers and signals all land on the same uids. *)
+  (* SOP through the smart constructors: AND chain per cube over the
+     cube's literal uids in ascending order, OR chain over cubes in
+     cover order.  Chaining by uid rather than by variable position puts
+     every positive literal (a pre-interned rail, uid [v + 2]) before
+     every negation (created later, so always a higher uid), in one
+     canonical order shared by all cubes — two cubes, of the same cover
+     or of different signals' covers, whose positive parts coincide now
+     chain through the same prefix nodes even when their negated context
+     differs.  Equal sub-chains across cubes, covers and signals all
+     land on the same uids. *)
   let of_cover b cover =
     let cube c =
-      let acc = ref None in
-      for v = 0 to b.nsig - 1 do
-        if Boolf.Cube.bound c v then begin
-          let lit =
-            if Boolf.Cube.polarity c v then input b v else inv b (input b v)
-          in
-          acc := Some (match !acc with None -> lit | Some a -> and2 b a lit)
-        end
+      let lits = ref [] in
+      for v = b.nsig - 1 downto 0 do
+        if Boolf.Cube.bound c v then
+          lits :=
+            (if Boolf.Cube.polarity c v then input b v else inv b (input b v))
+            :: !lits
       done;
-      match !acc with None -> const b true | Some a -> a
+      match List.sort_uniq compare !lits with
+      | [] -> const b true
+      | first :: rest -> List.fold_left (fun acc lit -> and2 b acc lit) first rest
     in
     match cover with
     | [] -> const b false

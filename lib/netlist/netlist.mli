@@ -37,7 +37,10 @@ type node =
 module Builder : sig
   type t
 
-  (** [create ~nsig] — an empty builder over signals [0..nsig-1]. *)
+  (** [create ~nsig] — a builder over signals [0..nsig-1].  The two
+      constants and every input rail are pre-interned (uids [0] and [1],
+      then [i + 2] for signal [i]): rails are construction, not sharing
+      requests, so touching one never counts as a hash-cons miss. *)
   val create : nsig:int -> t
 
   val input : t -> int -> uid
@@ -126,9 +129,11 @@ val shared_area : nsig:int -> (int * Boolf.Cover.t) list -> int
     elimination, idempotence/complement folds, hash-consed CSE) run at
     construction time, so a freshly built netlist is already in normal
     form.  [simplify] re-runs them to fixpoint over an existing graph and
-    compacts the store — dead nodes left behind by constructor folds are
-    dropped and uids renumbered densely.  Idempotent; preserves
-    {!next_values} on every input assignment. *)
+    compacts the store — dead {e gate} nodes left behind by constructor
+    folds are dropped and uids renumbered densely.  The constant and
+    input rails are pre-interned by every builder and thus always
+    present, so the compaction floor is [n_signals + 2] nodes.
+    Idempotent; preserves {!next_values} on every input assignment. *)
 val simplify : t -> t
 
 (** {2 Simulation} *)

@@ -29,6 +29,8 @@ type t = {
 let backend = "domains"
 let default_jobs () = Domain.recommended_domain_count ()
 
+exception Stream_finished
+
 let worker_loop t =
   let my_epoch = ref 0 in
   let continue = ref true in
@@ -146,6 +148,11 @@ module Stream = struct
     sm : Mutex.t;
     cv : Condition.t;  (** signalled on submission and on job completion *)
     jobs_q : (unit -> unit) Queue.t;
+    low_q : (unit -> unit) Queue.t;
+        (** speculative lane: workers only take from it when [jobs_q] is
+            empty, the caller never does, and [finish] discards whatever
+            is left — so nothing the session's result contract depends on
+            may ever be submitted here *)
     mutable stolen : int;  (** jobs run by pool workers, not the caller *)
     mutable closed : bool;
   }
@@ -166,6 +173,7 @@ module Stream = struct
         sm = Mutex.create ();
         cv = Condition.create ();
         jobs_q = Queue.create ();
+        low_q = Queue.create ();
         stolen = 0;
         closed = false;
       }
@@ -175,17 +183,36 @@ module Stream = struct
         let continue = ref true in
         while !continue do
           Mutex.lock s.sm;
-          while (not s.closed) && Queue.is_empty s.jobs_q do
+          while
+            (not s.closed)
+            && Queue.is_empty s.jobs_q
+            && Queue.is_empty s.low_q
+          do
             Condition.wait s.cv s.sm
           done;
           match Queue.take_opt s.jobs_q with
-          | None ->
-              (* closed and drained *)
-              Mutex.unlock s.sm;
-              continue := false
           | Some job ->
               Mutex.unlock s.sm;
               run_one s job ~worker:true
+          | None ->
+              if s.closed then begin
+                (* closed and the main queue drained; leftover speculative
+                   jobs are discardable by contract ([finish] clears them) *)
+                Mutex.unlock s.sm;
+                continue := false
+              end
+              else begin
+                (match Queue.take_opt s.low_q with
+                | Some job ->
+                    Mutex.unlock s.sm;
+                    (* [~worker:false]: [stolen] counts main-lane jobs
+                       only, so its meaning (candidate tasks run by
+                       workers) survives the speculative lane *)
+                    run_one s job ~worker:false
+                | None ->
+                    (* raced with another worker; back to the wait *)
+                    Mutex.unlock s.sm)
+              end
         done
       in
       (* Install the drain as the pool's task via the usual epoch
@@ -200,11 +227,18 @@ module Stream = struct
     end;
     s
 
-  let submit s job =
+  let submit_to q s job =
     Mutex.lock s.sm;
-    Queue.add job s.jobs_q;
+    if s.closed then begin
+      Mutex.unlock s.sm;
+      raise Stream_finished
+    end;
+    Queue.add job (q s);
     Condition.broadcast s.cv;
     Mutex.unlock s.sm
+
+  let submit s job = submit_to (fun s -> s.jobs_q) s job
+  let submit_low s job = submit_to (fun s -> s.low_q) s job
 
   let help s =
     Mutex.lock s.sm;
@@ -242,6 +276,9 @@ module Stream = struct
   let finish s =
     Mutex.lock s.sm;
     s.closed <- true;
+    (* Speculative jobs are discardable by contract — nothing the caller
+       waits on may be published only from the low lane. *)
+    Queue.clear s.low_q;
     Condition.broadcast s.cv;
     Mutex.unlock s.sm;
     (* Help drain whatever is still queued, then wait for the workers'
@@ -255,6 +292,58 @@ module Stream = struct
       s.st.task <- None;
       Mutex.unlock s.st.m
     end
+end
+
+(* Shared memo table: a string-keyed map any domain may read or publish
+   into concurrently, striped over independent mutexes so that writers on
+   different stripes never contend.  First-writer-wins: [publish] on a key
+   that is already present is a no-op, so as long as every writer derives
+   the value deterministically from the key (the {!Smemo} contract), which
+   domain wins a race is unobservable. *)
+module Smemo = struct
+  type 'a t = {
+    locks : Mutex.t array;
+    tables : (string, 'a) Hashtbl.t array;
+    mask : int;
+  }
+
+  let create ?(stripes = 64) () =
+    let n =
+      let rec pow2 k = if k >= max 1 stripes then k else pow2 (k * 2) in
+      pow2 1
+    in
+    {
+      locks = Array.init n (fun _ -> Mutex.create ());
+      tables = Array.init n (fun _ -> Hashtbl.create 64);
+      mask = n - 1;
+    }
+
+  let slot t key = Hashtbl.hash (key : string) land t.mask
+
+  let find t key =
+    let i = slot t key in
+    Mutex.lock t.locks.(i);
+    let r = Hashtbl.find_opt t.tables.(i) key in
+    Mutex.unlock t.locks.(i);
+    r
+
+  let publish t key v =
+    let i = slot t key in
+    Mutex.lock t.locks.(i);
+    let fresh = not (Hashtbl.mem t.tables.(i) key) in
+    if fresh then Hashtbl.add t.tables.(i) key v;
+    Mutex.unlock t.locks.(i);
+    fresh
+
+  let length t =
+    let n = ref 0 in
+    Array.iteri
+      (fun i tbl ->
+        Mutex.lock t.locks.(i);
+        n := !n + Hashtbl.length tbl;
+        Mutex.unlock t.locks.(i))
+      t.tables;
+    !n
 end
 
 (* Domain-local storage: each domain (the caller and every worker) gets its

@@ -20,14 +20,29 @@ let shutdown _ = ()
    backends have structurally similar creation paths. *)
 let _ = fun t -> t.requested
 
+exception Stream_finished
+
 (* Streaming sessions on the sequential backend: a plain FIFO the caller
    drains itself.  [wait]'s predicate must be satisfiable from already
-   submitted jobs, exactly as on the domains backend. *)
+   submitted jobs, exactly as on the domains backend.  The speculative
+   lane is accepted but never run — there are no idle workers to run it,
+   and its jobs are discardable by contract. *)
 module Stream = struct
-  type session = { q : (unit -> unit) Queue.t }
+  type session = {
+    q : (unit -> unit) Queue.t;
+    low : (unit -> unit) Queue.t;
+    mutable closed : bool;
+  }
 
-  let start _ = { q = Queue.create () }
-  let submit s job = Queue.add job s.q
+  let start _ = { q = Queue.create (); low = Queue.create (); closed = false }
+
+  let submit s job =
+    if s.closed then raise Stream_finished;
+    Queue.add job s.q
+
+  let submit_low s job =
+    if s.closed then raise Stream_finished;
+    Queue.add job s.low
 
   let help s =
     match Queue.take_opt s.q with
@@ -45,7 +60,27 @@ module Stream = struct
       invalid_arg "Pool.Stream.wait: predicate needs jobs never submitted"
 
   let stolen _ = 0
-  let finish s = while help s do () done
+
+  let finish s =
+    s.closed <- true;
+    while help s do () done;
+    Queue.clear s.low
+end
+
+(* Shared memo table, sequential flavour: one plain hash table, no
+   striping needed — there is only ever one domain. *)
+module Smemo = struct
+  type 'a t = (string, 'a) Hashtbl.t
+
+  let create ?stripes:_ () = Hashtbl.create 256
+  let find t key = Hashtbl.find_opt t key
+
+  let publish t key v =
+    let fresh = not (Hashtbl.mem t key) in
+    if fresh then Hashtbl.add t key v;
+    fresh
+
+  let length = Hashtbl.length
 end
 
 (* "Domain-local" storage on the sequential backend: there is only one

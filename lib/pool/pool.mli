@@ -52,6 +52,12 @@ val shutdown : t -> unit
 (** [with_pool ~jobs f] — {!create}, run [f], always {!shutdown}. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 
+(** Raised by {!Stream.submit}/{!Stream.submit_low} on a session that
+    {!Stream.finish} has already closed — a session producer that
+    outlives its session is a bug that must fail loudly, not enqueue
+    into the void. *)
+exception Stream_finished
+
 (** Streaming work sessions — the barrier-free alternative to
     {!map_array}.  A session turns every pool worker into a long-lived
     consumer of one FIFO job queue: the caller {!Stream.submit}s thunks at
@@ -79,8 +85,19 @@ module Stream : sig
   (** Open a session and put every worker into job-draining mode. *)
   val start : t -> session
 
-  (** Enqueue a job.  Wakes a parked worker (or the waiting caller). *)
+  (** Enqueue a job.  Wakes a parked worker (or the waiting caller).
+      @raise Stream_finished after {!finish}. *)
   val submit : session -> (unit -> unit) -> unit
+
+  (** Enqueue a job on the {e speculative} lane: pool workers take it
+      only when the main queue is empty, the caller ({!help}/{!wait})
+      never runs it, and {!finish} discards whatever is still queued —
+      on the sequential backend low jobs therefore never run at all.
+      Nothing the session's results depend on may be published only from
+      this lane; it exists for discardable warm-up work (the portfolio
+      search's speculative candidate pre-evaluation).
+      @raise Stream_finished after {!finish}. *)
+  val submit_low : session -> (unit -> unit) -> unit
 
   (** Run one queued job in the caller; [false] if the queue was empty. *)
   val help : session -> bool
@@ -99,6 +116,34 @@ module Stream : sig
   (** Drain remaining jobs, stop the workers' draining loops and release
       the pool for the next batch or session. *)
   val finish : session -> unit
+end
+
+(** A string-keyed memo table shared {e across} domains — the cross-arm
+    signature table of the portfolio search.  On the domains backend the
+    map is striped over [stripes] independent mutexes (keys hashed to a
+    stripe), so concurrent readers and writers on different stripes never
+    contend; the sequential backend is a plain hash table.
+
+    Determinism contract (first-writer-wins): {!publish} on a key that is
+    already present changes nothing and returns [false].  Provided every
+    writer derives the value {e deterministically from the key} — the
+    table memoizes a pure function — which domain wins a publish race is
+    unobservable: every reader sees the same value or none. *)
+module Smemo : sig
+  type 'a t
+
+  (** [create ~stripes ()] — an empty table.  [stripes] (default 64) is
+      rounded up to a power of two; ignored on the sequential backend. *)
+  val create : ?stripes:int -> unit -> 'a t
+
+  val find : 'a t -> string -> 'a option
+
+  (** [publish t key v] — insert unless present; [true] iff inserted. *)
+  val publish : 'a t -> string -> 'a -> bool
+
+  (** Total number of entries (takes every stripe lock; a snapshot only
+      if no writers are active). *)
+  val length : 'a t -> int
 end
 
 (** Domain-local storage with a sequential fallback: on the domains backend

@@ -99,6 +99,85 @@ val optimize :
   Sg.t ->
   outcome
 
+(** {2 Portfolio search}
+
+    Several cost weightings explored concurrently over one pool session,
+    with cross-arm sharing and speculative evaluation.  See DESIGN.md,
+    "Portfolio search". *)
+
+(** One arm of a portfolio: a weight [W] plus an area model. *)
+type arm = { arm_w : float; arm_area : area_mode }
+
+type arm_outcome = {
+  arm : arm;
+  outcome : outcome;
+      (** byte-identical to [optimize ~w:arm_w ~area_mode:arm_area ...]
+          run standalone with the same parameters *)
+  yardstick : float;
+      (** the arm's best under the fixed cross-arm objective (default
+          tree pricing at [w = 0.5]) — [cost]s of arms with different
+          weights or area models are not comparable *)
+}
+
+(** Sharing/speculation totals of one portfolio run (counted whether or
+    not {!Obs} recording is on).  [table_hits] are candidate evaluations
+    served by the cross-arm signature table; [spec_published] the table
+    entries published by speculative jobs, of which [spec_hits] were
+    later actually consumed (an entry read by several arms counts once)
+    — their difference is exactly the speculation waste. *)
+type portfolio_stats = {
+  table_hits : int;
+  table_misses : int;
+  spec_published : int;
+  spec_hits : int;
+}
+
+type portfolio_outcome = {
+  arms : arm_outcome array;  (** in input arm order *)
+  winner : int;
+      (** index of the best arm: feasible beats infeasible, then lowest
+          [yardstick], ties to the lowest index *)
+  stats : portfolio_stats;
+}
+
+(** [portfolio ~arms sg] runs one beam search per arm, all sharing one
+    {!Pool.Stream} session (with [pool]) and one cross-arm signature
+    table: a candidate SG evaluated by any arm — or pre-evaluated by a
+    speculative job — is never logic-evaluated again by another, keyed by
+    signature plus lineage ghost sequence so the cached evaluation is
+    exactly what every arm would have computed itself.  Each arm's
+    [outcome] is byte-identical to its standalone {!optimize} run with
+    the same parameters, pooled or sequential, speculation on or off.
+
+    [speculate] (default [true], effective only with a pool): idle
+    workers pre-evaluate the children of candidates that beat their
+    parent's cost — the most-likely-accepted ones — on the session's
+    low-priority lane; mispredictions cost only the wasted work (the
+    results land in the shared table and are simply never read).
+
+    [on_improvement] streams the anytime best-so-far: it fires on the
+    caller's thread, in a deterministic order (arms serviced round-robin,
+    each level merged in task order), once per strict per-arm
+    improvement, starting with each arm's initial configuration.
+
+    The per-arm search parameters ([size_frontier], [keep_conc],
+    [max_levels], [csc_weight], [perf_delays], [max_cycle], [eval_mode])
+    are shared by all arms. *)
+val portfolio :
+  ?pool:Pool.t ->
+  ?size_frontier:int ->
+  ?keep_conc:keep ->
+  ?max_levels:int ->
+  ?csc_weight:float ->
+  ?perf_delays:(Stg.label -> int) ->
+  ?max_cycle:int ->
+  ?eval_mode:eval_mode ->
+  ?speculate:bool ->
+  ?on_improvement:(arm:int -> config -> unit) ->
+  arms:arm list ->
+  Sg.t ->
+  portfolio_outcome
+
 (** Evaluate one SG with the search's cost function.  [memo] (default
     false) routes the logic minimizations through {!Boolf.Memo}; the
     result is identical either way.  [area_mode] defaults to [`Tree]. *)

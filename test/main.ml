@@ -37,6 +37,7 @@ let () =
       ("crosscheck", Test_crosscheck.suite);
       ("techmap", Test_techmap.suite);
       ("parallel", Test_parallel.suite);
+      ("portfolio", Test_portfolio.suite);
       ("delta", Test_delta.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("fuzz", Test_fuzz.suite);
