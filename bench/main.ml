@@ -5,6 +5,9 @@
    Usage:  main.exe [section ...] [--no-timing] [--jobs N]
    Sections: fig1 fig2 table1 fig6 fig8 frontier par table2 mmu (default: all)
    Extras:  --backend            print the pool backend and exit
+            --json-pr10 [FILE]   serve cold-vs-warm request latency over a
+                                 Unix socket + live metrics snapshot
+                                 (full runs gate warm >= 10x cold)
             --json [FILE]        PR 1 hot-path kernel timings
             --json-pr2 [FILE]    sequential-vs-parallel search timings
             --json-pr3 [FILE]    SG-representation time/alloc/live profile
@@ -1615,6 +1618,143 @@ let json_pr9 ~smoke out_file =
   end
 
 (* ------------------------------------------------------------------ *)
+(* PR 10: the synthesis service.  Cold-vs-warm reduce latency through a *)
+(* real Unix-socket round trip against `Serve.Server`: the cold request *)
+(* runs the full CLI flow, the warm repeat replays the memory tier, and *)
+(* a restart on the same cache directory replays the disk tier.  The    *)
+(* live metrics payload (hit rate, queue depth, latency reservoir) is   *)
+(* snapshotted into the report.  Full runs gate warm >= 10x cold on     *)
+(* every spec; [--smoke] records the numbers without the gate.          *)
+
+let json_pr10 ~smoke out_file =
+  let specs =
+    [
+      ("lr", Expansion.four_phase Specs.lr);
+      ("par", Expansion.four_phase Specs.par);
+      ("mmu", Expansion.four_phase Specs.mmu);
+    ]
+    |> List.map (fun (name, stg) -> (name, Stg.Io.print stg))
+  in
+  let dir = Filename.temp_file "astg_serve_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "sock" in
+  let cache = Filename.concat dir "cache" in
+  let request_line id spec =
+    Serve.Json.to_string
+      (Serve.Json.Obj
+         [
+           ("id", Serve.Json.Str id);
+           ("op", Serve.Json.Str "reduce");
+           ("spec", Serve.Json.Str spec);
+         ])
+  in
+  let get name j =
+    match Serve.Json.member name j with
+    | Some v -> v
+    | None -> failwith ("response lacks " ^ name)
+  in
+  (* One timed round trip; returns (response, ns) and checks the
+     expected cache tier so a mis-timed number can't slip through. *)
+  let timed_request c ~id ~tier spec =
+    let t0 = Unix.gettimeofday () in
+    let resp = Serve.Json.parse (Serve.Client.request c (request_line id spec)) in
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (match get "ok" resp with
+    | Serve.Json.Bool true -> ()
+    | _ -> failwith ("request failed: " ^ Serve.Json.to_string resp));
+    (match get "tier" resp with
+    | Serve.Json.Str t when t = tier -> ()
+    | j ->
+        failwith
+          (Printf.sprintf "expected tier %s, got %s" tier
+             (Serve.Json.to_string j)));
+    (resp, ns)
+  in
+  let passes = if smoke then 3 else 30 in
+  let srv = Serve.Server.start ~workers:2 ~cache_dir:cache (`Unix sock) in
+  let c = Serve.Client.connect (`Unix sock) in
+  (* Cold: the first request computes through the full CLI flow. *)
+  let cold_ns =
+    List.map
+      (fun (name, spec) ->
+        let resp, ns = timed_request c ~id:(name ^ "-cold") ~tier:"compute" spec in
+        ignore resp;
+        Printf.eprintf "cold    %-6s %14.0f ns\n%!" name ns;
+        (name, ns))
+      specs
+  in
+  (* Warm: repeats replay the memory tier; keep the per-spec minimum
+     (the same estimator every other report uses). *)
+  let warm_ns =
+    List.map
+      (fun (name, spec) ->
+        let best = ref infinity in
+        for i = 1 to passes do
+          let _, ns =
+            timed_request c ~id:(Printf.sprintf "%s-warm%d" name i) ~tier:"mem"
+              spec
+          in
+          if ns < !best then best := ns
+        done;
+        Printf.eprintf "warm    %-6s %14.0f ns\n%!" name !best;
+        (name, !best))
+      specs
+  in
+  let metrics =
+    let resp =
+      Serve.Json.parse
+        (Serve.Client.request c {|{"id":"m","op":"metrics"}|})
+    in
+    Serve.Json.to_string (get "result" resp)
+  in
+  Serve.Client.close c;
+  Serve.Server.stop srv;
+  (* Restart on the same cache directory: the first request per spec is
+     served from the disk tier without recomputing. *)
+  let srv2 = Serve.Server.start ~workers:2 ~cache_dir:cache (`Unix sock) in
+  let c2 = Serve.Client.connect (`Unix sock) in
+  let disk_ns =
+    List.map
+      (fun (name, spec) ->
+        let _, ns = timed_request c2 ~id:(name ^ "-disk") ~tier:"disk" spec in
+        Printf.eprintf "disk    %-6s %14.0f ns\n%!" name ns;
+        (name, ns))
+      specs
+  in
+  Serve.Client.close c2;
+  Serve.Server.stop srv2;
+  let speedup =
+    List.map2
+      (fun (name, cold) (_, warm) ->
+        (name, if warm > 0.0 then cold /. warm else 0.0))
+      cold_ns warm_ns
+  in
+  let j = Harness.Json.create () in
+  Harness.Json.str j "bench" "BENCH_PR10";
+  Harness.Json.bool j "smoke" smoke;
+  Harness.Json.str j "units" "ns_per_request";
+  Harness.Json.str j "transport" "unix socket, newline-delimited JSON";
+  Harness.Json.int j "warm_passes" passes;
+  Harness.Json.obj j "cold_ns" cold_ns;
+  Harness.Json.obj j "warm_ns" warm_ns;
+  Harness.Json.obj j "disk_restart_ns" disk_ns;
+  Harness.Json.obj ~fmt:"%.2f" j "warm_speedup" speedup;
+  Harness.Json.raw j "metrics" metrics;
+  Harness.Json.write j out_file;
+  if not smoke then
+    List.iter
+      (fun (name, s) ->
+        if s < 10.0 then begin
+          Printf.printf
+            "::error title=serve cache::%s warm hit only %.2fx faster than \
+             the cold compute (>= 10x required)\n"
+            name s;
+          exit 1
+        end)
+      speedup
+
+(* ------------------------------------------------------------------ *)
 (* One full MMU flow pass: the smallest section that exercises every    *)
 (* instrumented phase (parse/expand -> SG -> search -> CSC -> logic ->  *)
 (* mapping), sized for `--trace FILE` runs.                             *)
@@ -1676,6 +1816,18 @@ let () =
     strip args
   in
   if !trace_file <> None || !metrics then Obs.set_enabled true;
+  if List.mem "--json-pr10" args then begin
+    let smoke = List.mem "--smoke" args in
+    let out =
+      match
+        List.filter (fun a -> a <> "--json-pr10" && a <> "--smoke") args
+      with
+      | [ f ] -> f
+      | _ -> "BENCH_PR10.json"
+    in
+    json_pr10 ~smoke out;
+    exit 0
+  end;
   if List.mem "--json-pr9" args then begin
     let smoke = List.mem "--smoke" args in
     let out =

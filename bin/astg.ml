@@ -93,29 +93,8 @@ let show_cmd =
 let check_cmd =
   let run stg trace metrics =
     with_obs trace metrics @@ fun () ->
-    match sg_or_fail stg with
-    | Error msg ->
-        Printf.printf "consistent:          no (%s)\n" msg;
-        `Ok ()
-    | Ok sg ->
-        Printf.printf "consistent:          yes\n";
-        Printf.printf "states:              %d\n" (Sg.n_states sg);
-        Printf.printf "deterministic:       %b\n" (Sg.is_deterministic sg);
-        Printf.printf "commutative:         %b\n" (Sg.is_commutative sg);
-        Printf.printf "output-persistent:   %b\n" (Sg.is_output_persistent sg);
-        Printf.printf "speed-independent:   %b\n" (Sg.is_speed_independent sg);
-        Printf.printf "CSC:                 %b (%d conflicting state pairs)\n"
-          (Sg.has_csc sg)
-          (List.length (Sg.csc_conflicts sg));
-        Printf.printf "USC:                 %b\n" (Sg.usc_conflicts sg = []);
-        let pairs = Sg.concurrent_pairs sg in
-        Printf.printf "concurrent pairs:    %s\n"
-          (String.concat ", "
-             (List.map
-                (fun (a, b) ->
-                  Stg.label_name stg a ^ "||" ^ Stg.label_name stg b)
-                pairs));
-        `Ok ()
+    print_string (Core.Cli.check_text stg);
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check implementability conditions of an STG.")
@@ -128,31 +107,11 @@ let synth_cmd =
     with_obs trace metrics @@ fun () ->
     (* --verilog is kept as shorthand for --emit verilog *)
     let emit = if verilog && emit = [] then [ `Verilog ] else emit in
-    match sg_or_fail stg with
-    | Error msg -> `Error (false, msg)
-    | Ok sg ->
-        let r = Core.implement ~max_csc ~name:"circuit" sg in
-        Format.printf "%a@." Core.pp_report r;
-        if r.Core.equations <> "" then print_endline r.Core.equations;
-        (match r.Core.mapped_area with
-        | Some a -> Printf.printf "mapped area: %d\n" a
-        | None -> ());
-        if emit <> [] then begin
-          match Csc.resolve ~max_signals:max_csc sg with
-          | Ok res ->
-              let impl = Logic.synthesize res.Csc.sg in
-              let circuit = Circuit.of_impl impl in
-              List.iter
-                (fun backend ->
-                  print_string
-                    (match backend with
-                    | `Verilog ->
-                        Circuit.to_verilog ~module_name:"circuit" circuit
-                    | `Blif -> Circuit.to_blif ~model_name:"circuit" circuit))
-                emit
-          | Error msg -> Printf.printf "# no netlist: %s\n" msg
-        end;
+    match Core.Cli.synth_text { Core.Cli.max_csc; emit } stg with
+    | Ok text ->
+        print_string text;
         `Ok ()
+    | Error msg -> `Error (false, msg)
   in
   let max_csc =
     Arg.(
@@ -188,127 +147,58 @@ let synth_cmd =
 (* ---- reduce ---- *)
 
 let reduce_cmd =
-  let area_name = function `Tree -> "tree" | `Shared -> "shared" in
   let run stg w frontier keeps print_stg area_mode portfolio no_speculate jobs
       trace metrics =
     with_obs trace metrics @@ fun () ->
-    match sg_or_fail stg with
-    | Error msg -> `Error (false, msg)
-    | Ok sg -> (
-        let keep_conc =
-          try
-            List.map
-              (fun spec ->
-                match String.split_on_char ',' spec with
-                | [ a; b ] -> (Core.lab stg a, Core.lab stg b)
-                | _ -> failwith spec)
-              keeps
+    let keep_pairs =
+      try
+        Ok
+          (List.map
+             (fun spec ->
+               match String.split_on_char ',' spec with
+               | [ a; b ] -> (a, b)
+               | _ -> failwith ("bad --keep syntax: " ^ spec))
+             keeps)
+      with Failure msg -> Error msg
+    in
+    let weights =
+      match portfolio with
+      | None -> Ok []
+      | Some spec -> (
+          match
+            try
+              Ok
+                (List.map
+                   (fun s -> float_of_string (String.trim s))
+                   (String.split_on_char ',' spec))
+            with _ -> Error ()
           with
-          | Not_found -> failwith "unknown event in --keep"
-          | Failure spec -> failwith ("bad --keep syntax: " ^ spec)
+          | Error () ->
+              Error
+                ("bad --portfolio syntax (expected \"w1,w2,...\"): " ^ spec)
+          | Ok [] -> Error "--portfolio needs at least one weight"
+          | Ok ws -> Ok ws)
+    in
+    match (keep_pairs, weights) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok keeps, Ok portfolio -> (
+        let opts =
+          {
+            Core.Cli.w;
+            frontier;
+            keeps;
+            print_stg;
+            area_mode;
+            portfolio;
+            speculate = not no_speculate;
+            jobs;
+          }
         in
-        let print_reductions best =
-          Printf.printf "reductions applied: %s\n"
-            (String.concat ", "
-               (List.map
-                  (fun (a, b) ->
-                    Printf.sprintf "%s after %s" (Stg.label_name stg a)
-                      (Stg.label_name stg b))
-                  best.Search.applied))
-        in
-        let print_reduced best =
-          if not print_stg then `Ok ()
-          else
-            let realized =
-              match
-                Reduction.realize ~applied:best.Search.applied best.Search.sg
-              with
-              | Ok stg' -> Ok stg'
-              | Error _ -> (
-                  match Regions.synthesize best.Search.sg with
-                  | Ok stg' -> Ok stg'
-                  | Error e -> Error (Regions.error_to_string e))
-            in
-            match realized with
-            | Ok stg' ->
-                print_string (Stg.Io.print stg');
-                `Ok ()
-            | Error msg -> `Error (false, "realization failed: " ^ msg)
-        in
-        match portfolio with
-        | None ->
-            let outcome =
-              Search.optimize ~w ~size_frontier:frontier ~keep_conc ~area_mode
-                sg
-            in
-            let best = outcome.Search.best in
-            Printf.printf
-              "explored %d configurations over %d levels; best cost %.1f\n"
-              outcome.Search.explored outcome.Search.levels best.Search.cost;
-            print_reductions best;
-            print_reduced best
-        | Some spec -> (
-            match
-              try
-                Ok
-                  (List.map
-                     (fun s ->
-                       { Search.arm_w = float_of_string (String.trim s);
-                         arm_area = area_mode })
-                     (String.split_on_char ',' spec))
-              with _ -> Error ()
-            with
-            | Error () ->
-                `Error
-                  ( false,
-                    "bad --portfolio syntax (expected \"w1,w2,...\"): " ^ spec
-                  )
-            | Ok [] -> `Error (false, "--portfolio needs at least one weight")
-            | Ok arms ->
-                let run_portfolio pool =
-                  Search.portfolio ?pool ~size_frontier:frontier ~keep_conc
-                    ~speculate:(not no_speculate)
-                    ~on_improvement:(fun ~arm cfg ->
-                      Printf.printf
-                        "arm %d (w=%.2f, %s): cost %.1f, %d csc pairs, %d \
-                         reductions\n"
-                        arm
-                        (List.nth arms arm).Search.arm_w
-                        (area_name (List.nth arms arm).Search.arm_area)
-                        cfg.Search.cost cfg.Search.csc_pairs
-                        (List.length cfg.Search.applied))
-                    ~arms sg
-                in
-                let po =
-                  if jobs > 1 then
-                    Pool.with_pool ~jobs (fun p -> run_portfolio (Some p))
-                  else run_portfolio None
-                in
-                Array.iteri
-                  (fun i ao ->
-                    let o = ao.Search.outcome in
-                    Printf.printf
-                      "arm %d (w=%.2f, %s): explored %d over %d levels; best \
-                       cost %.1f (yardstick %.1f)%s\n"
-                      i ao.Search.arm.Search.arm_w
-                      (area_name ao.Search.arm.Search.arm_area)
-                      o.Search.explored o.Search.levels o.Search.best.Search.cost
-                      ao.Search.yardstick
-                      (if o.Search.feasible then "" else " INFEASIBLE"))
-                  po.Search.arms;
-                let st = po.Search.stats in
-                Printf.printf
-                  "cross-arm table: %d hits, %d misses; speculation: %d \
-                   published, %d consumed\n"
-                  st.Search.table_hits st.Search.table_misses
-                  st.Search.spec_published st.Search.spec_hits;
-                let won = po.Search.arms.(po.Search.winner) in
-                Printf.printf "winner: arm %d (w=%.2f, %s)\n" po.Search.winner
-                  won.Search.arm.Search.arm_w
-                  (area_name won.Search.arm.Search.arm_area);
-                let best = won.Search.outcome.Search.best in
-                print_reductions best;
-                print_reduced best))
+        match Core.Cli.reduce_text opts stg with
+        | Ok text ->
+            print_string text;
+            `Ok ()
+        | Error msg -> `Error (false, msg))
   in
   let w =
     Arg.(
@@ -523,6 +413,265 @@ let contract_cmd =
           bisimulation) and print the resulting STG.")
     Term.(ret (const run $ file_pos))
 
+(* ---- serve / client ---- *)
+
+let addr_args =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on (or connect to) a Unix domain socket at $(docv).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Listen on (or connect to) TCP $(docv) on the IPv4 loopback.  \
+             Port 0 picks an ephemeral port; the server prints the actual \
+             one on startup.")
+  in
+  let combine socket port =
+    match (socket, port) with
+    | Some path, None -> Ok (`Unix path)
+    | None, Some p -> Ok (`Tcp p)
+    | None, None -> Error "one of --socket or --port is required"
+    | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+  in
+  Term.(const combine $ socket $ port)
+
+let serve_cmd =
+  let run addr workers cache_dir mem_entries queue_bound max_inflight
+      timeout_ms max_request_bytes =
+    match addr with
+    | Error msg -> `Error (false, msg)
+    | Ok addr -> (
+        match
+          Serve.Server.start ?workers ~mem_entries ?cache_dir ~queue_bound
+            ?max_inflight ~timeout_ms ~max_request_bytes addr
+        with
+        | exception Unix.Unix_error (e, fn, arg) ->
+            `Error
+              ( false,
+                Printf.sprintf "cannot listen: %s(%s): %s" fn arg
+                  (Unix.error_message e) )
+        | srv ->
+            (match Serve.Server.addr srv with
+            | `Unix path -> Printf.eprintf "astg serve: listening on %s\n%!" path
+            | `Tcp port ->
+                Printf.eprintf "astg serve: listening on 127.0.0.1:%d\n%!" port);
+            let stop = ref false in
+            let handler _ = stop := true in
+            (try Sys.set_signal Sys.sigint (Sys.Signal_handle handler)
+             with _ -> ());
+            (try Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
+             with _ -> ());
+            while not !stop do
+              Unix.sleepf 0.1
+            done;
+            Printf.eprintf "astg serve: shutting down\n%!";
+            Serve.Server.stop srv;
+            `Ok ())
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Concurrent compute slots (default: the pool's recommended \
+             parallelism).  Scheduling stays fair FIFO per client at any \
+             worker count.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist results content-addressed under $(docv) (created if \
+             needed); a restarted server serves them back without \
+             recomputing.")
+  in
+  let mem_entries =
+    Arg.(
+      value & opt int 256
+      & info [ "mem-entries" ] ~docv:"N"
+          ~doc:"In-memory LRU capacity, in cached responses.")
+  in
+  let queue_bound =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Load shedding: requests arriving while $(docv) are already \
+             queued get an immediate typed $(b,busy) response.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Cap on concurrently computing requests (default: workers).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline; an overdue request gets a typed \
+             $(b,timeout) response (the late result still lands in the \
+             cache).  0 disables.")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:
+            "Reject request lines longer than $(docv) with a typed \
+             $(b,oversized) response, without tearing down the connection.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis service: newline-delimited JSON requests \
+          (check/synth/reduce/metrics) over a Unix or TCP socket, with \
+          fair FIFO-per-client scheduling over the work pool and a \
+          two-tier content-addressed result cache.  Responses carry the \
+          exact bytes the equivalent CLI invocation prints.")
+    Term.(
+      ret
+        (const run $ addr_args $ workers $ cache_dir $ mem_entries
+       $ queue_bound $ max_inflight $ timeout_ms $ max_request_bytes))
+
+let client_cmd =
+  let run addr op file options_json id pretty =
+    match addr with
+    | Error msg -> `Error (false, msg)
+    | Ok addr -> (
+        let request =
+          match op with
+          | "metrics" ->
+              Ok (Serve.Json.Obj [ ("id", Serve.Json.Str id); ("op", Serve.Json.Str "metrics") ])
+          | "check" | "synth" | "reduce" -> (
+              match file with
+              | None -> Error ("op " ^ op ^ " needs FILE.g")
+              | Some path -> (
+                  match
+                    try Ok (In_channel.with_open_bin path In_channel.input_all)
+                    with Sys_error msg -> Error msg
+                  with
+                  | Error msg -> Error msg
+                  | Ok spec -> (
+                      let base =
+                        [
+                          ("id", Serve.Json.Str id);
+                          ("op", Serve.Json.Str op);
+                          ("spec", Serve.Json.Str spec);
+                        ]
+                      in
+                      match options_json with
+                      | None -> Ok (Serve.Json.Obj base)
+                      | Some s -> (
+                          match Serve.Json.parse s with
+                          | o -> Ok (Serve.Json.Obj (base @ [ ("options", o) ]))
+                          | exception Serve.Json.Parse_error msg ->
+                              Error ("bad --options JSON: " ^ msg)))))
+          | other -> Error ("unknown op " ^ other ^ " (check/synth/reduce/metrics)")
+        in
+        match request with
+        | Error msg -> `Error (false, msg)
+        | Ok req -> (
+            match Serve.Client.connect addr with
+            | exception Unix.Unix_error (e, fn, arg) ->
+                `Error
+                  ( false,
+                    Printf.sprintf "cannot connect: %s(%s): %s" fn arg
+                      (Unix.error_message e) )
+            | c ->
+                let resp = Serve.Client.request c (Serve.Json.to_string req) in
+                Serve.Client.close c;
+                let parsed =
+                  match Serve.Json.parse resp with
+                  | j -> Some j
+                  | exception Serve.Json.Parse_error _ -> None
+                in
+                (* --raw/pretty: by default unwrap a successful payload's
+                   "output" so the bytes land on stdout exactly as the
+                   CLI would print them *)
+                let unwrapped =
+                  if pretty then None
+                  else
+                    match parsed with
+                    | Some j -> (
+                        match
+                          ( Serve.Json.member "ok" j,
+                            Option.bind (Serve.Json.member "result" j)
+                              (Serve.Json.member "output") )
+                        with
+                        | Some (Serve.Json.Bool true), Some (Serve.Json.Str out)
+                          ->
+                            Some out
+                        | _ -> None)
+                    | None -> None
+                in
+                (match unwrapped with
+                | Some out -> print_string out
+                | None -> print_endline resp);
+                let failed =
+                  match parsed with
+                  | Some j -> Serve.Json.member "ok" j = Some (Serve.Json.Bool false)
+                  | None -> false
+                in
+                if failed then `Error (false, "request failed") else `Ok ()))
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"check, synth, reduce or metrics.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE.g" ~doc:"STG in astg (.g) format (compute ops).")
+  in
+  let options_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "options" ] ~docv:"JSON"
+          ~doc:
+            "Request options as a JSON object, e.g. \
+             '{\"w\":0.5,\"portfolio\":[0.3,0.7]}'.")
+  in
+  let id =
+    Arg.(
+      value & opt string "cli"
+      & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed by the server.")
+  in
+  let pretty =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Print the full JSON response line instead of unwrapping a \
+             successful response's output payload.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "One-shot client for $(b,astg serve): send a single request and \
+          print the response.  By default a successful compute response \
+          is unwrapped to its output bytes (identical to the equivalent \
+          CLI invocation); $(b,--raw) prints the JSON envelope.")
+    Term.(
+      ret (const run $ addr_args $ op $ file $ options_json $ id $ pretty))
+
 (* ---- expand ---- *)
 
 let expand_cmd =
@@ -607,4 +756,6 @@ let () =
             dot_cmd;
             contract_cmd;
             fuzz_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

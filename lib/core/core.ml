@@ -260,3 +260,216 @@ let lab stg name =
         found := Some l)
     stg.Stg.labels;
   match !found with Some l -> l | None -> raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* CLI renderers: the bodies of `astg check|synth|reduce` as pure
+   text-producing functions.  bin/astg prints these strings verbatim and
+   the synthesis service (lib/serve) returns them as response payloads,
+   so "serve output = CLI output" holds by construction — the
+   differential suite in test/test_serve.ml then checks it end to end
+   against the actual binary. *)
+
+module Cli = struct
+  type emit_backend = [ `Verilog | `Blif ]
+
+  type synth_opts = { max_csc : int; emit : emit_backend list }
+
+  type reduce_opts = {
+    w : float;
+    frontier : int;
+    keeps : (string * string) list;
+    print_stg : bool;
+    area_mode : Search.area_mode;
+    portfolio : float list;
+    speculate : bool;
+    jobs : int;
+  }
+
+  let default_synth = { max_csc = 6; emit = [] }
+
+  let default_reduce =
+    {
+      w = 0.8;
+      frontier = 4;
+      keeps = [];
+      print_stg = false;
+      area_mode = `Tree;
+      portfolio = [];
+      speculate = true;
+      jobs = 1;
+    }
+
+  let sg_or_fail stg =
+    match Sg.of_stg stg with
+    | Ok sg -> Ok sg
+    | Error e -> Error (Format.asprintf "%a" Sg.pp_error e)
+
+  let check_text stg =
+    let b = Buffer.create 512 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    (match sg_or_fail stg with
+    | Error msg -> pf "consistent:          no (%s)\n" msg
+    | Ok sg ->
+        pf "consistent:          yes\n";
+        pf "states:              %d\n" (Sg.n_states sg);
+        pf "deterministic:       %b\n" (Sg.is_deterministic sg);
+        pf "commutative:         %b\n" (Sg.is_commutative sg);
+        pf "output-persistent:   %b\n" (Sg.is_output_persistent sg);
+        pf "speed-independent:   %b\n" (Sg.is_speed_independent sg);
+        pf "CSC:                 %b (%d conflicting state pairs)\n"
+          (Sg.has_csc sg)
+          (List.length (Sg.csc_conflicts sg));
+        pf "USC:                 %b\n" (Sg.usc_conflicts sg = []);
+        let pairs = Sg.concurrent_pairs sg in
+        pf "concurrent pairs:    %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (a, b) ->
+                  Stg.label_name stg a ^ "||" ^ Stg.label_name stg b)
+                pairs)));
+    Buffer.contents b
+
+  let synth_text opts stg =
+    match sg_or_fail stg with
+    | Error msg -> Error msg
+    | Ok sg ->
+        let b = Buffer.create 1024 in
+        let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+        let r = implement ~max_csc:opts.max_csc ~name:"circuit" sg in
+        Buffer.add_string b (Format.asprintf "%a@." pp_report r);
+        if r.equations <> "" then pf "%s\n" r.equations;
+        (match r.mapped_area with
+        | Some a -> pf "mapped area: %d\n" a
+        | None -> ());
+        if opts.emit <> [] then begin
+          match Csc.resolve ~max_signals:opts.max_csc sg with
+          | Ok res ->
+              let impl = Logic.synthesize res.Csc.sg in
+              let circuit = Circuit.of_impl impl in
+              List.iter
+                (fun backend ->
+                  Buffer.add_string b
+                    (match backend with
+                    | `Verilog ->
+                        Circuit.to_verilog ~module_name:"circuit" circuit
+                    | `Blif -> Circuit.to_blif ~model_name:"circuit" circuit))
+                opts.emit
+          | Error msg -> pf "# no netlist: %s\n" msg
+        end;
+        Ok (Buffer.contents b)
+
+  let area_name = function `Tree -> "tree" | `Shared -> "shared"
+
+  let reduce_text opts stg =
+    match sg_or_fail stg with
+    | Error msg -> Error msg
+    | Ok sg -> (
+        match
+          try
+            Ok
+              (List.map
+                 (fun (a, b) ->
+                   try (lab stg a, lab stg b)
+                   with Not_found -> failwith "unknown event in --keep")
+                 opts.keeps)
+          with Failure msg -> Error msg
+        with
+        | Error msg -> Error msg
+        | Ok keep_conc -> (
+            let b = Buffer.create 1024 in
+            let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+            let print_reductions best =
+              pf "reductions applied: %s\n"
+                (String.concat ", "
+                   (List.map
+                      (fun (x, y) ->
+                        Printf.sprintf "%s after %s" (Stg.label_name stg x)
+                          (Stg.label_name stg y))
+                      best.Search.applied))
+            in
+            let print_reduced best =
+              if not opts.print_stg then Ok (Buffer.contents b)
+              else
+                let realized =
+                  match
+                    Reduction.realize ~applied:best.Search.applied
+                      best.Search.sg
+                  with
+                  | Ok stg' -> Ok stg'
+                  | Error _ -> (
+                      match Regions.synthesize best.Search.sg with
+                      | Ok stg' -> Ok stg'
+                      | Error e -> Error (Regions.error_to_string e))
+                in
+                match realized with
+                | Ok stg' ->
+                    Buffer.add_string b (Stg.Io.print stg');
+                    Ok (Buffer.contents b)
+                | Error msg -> Error ("realization failed: " ^ msg)
+            in
+            match opts.portfolio with
+            | [] ->
+                let outcome =
+                  Search.optimize ~w:opts.w ~size_frontier:opts.frontier
+                    ~keep_conc ~area_mode:opts.area_mode sg
+                in
+                let best = outcome.Search.best in
+                pf
+                  "explored %d configurations over %d levels; best cost %.1f\n"
+                  outcome.Search.explored outcome.Search.levels
+                  best.Search.cost;
+                print_reductions best;
+                print_reduced best
+            | weights ->
+                let arms =
+                  List.map
+                    (fun w ->
+                      { Search.arm_w = w; arm_area = opts.area_mode })
+                    weights
+                in
+                let run_portfolio pool =
+                  Search.portfolio ?pool ~size_frontier:opts.frontier
+                    ~keep_conc ~speculate:opts.speculate
+                    ~on_improvement:(fun ~arm cfg ->
+                      pf
+                        "arm %d (w=%.2f, %s): cost %.1f, %d csc pairs, %d \
+                         reductions\n"
+                        arm
+                        (List.nth arms arm).Search.arm_w
+                        (area_name (List.nth arms arm).Search.arm_area)
+                        cfg.Search.cost cfg.Search.csc_pairs
+                        (List.length cfg.Search.applied))
+                    ~arms sg
+                in
+                let po =
+                  if opts.jobs > 1 then
+                    Pool.with_pool ~jobs:opts.jobs (fun p ->
+                        run_portfolio (Some p))
+                  else run_portfolio None
+                in
+                Array.iteri
+                  (fun i ao ->
+                    let o = ao.Search.outcome in
+                    pf
+                      "arm %d (w=%.2f, %s): explored %d over %d levels; best \
+                       cost %.1f (yardstick %.1f)%s\n"
+                      i ao.Search.arm.Search.arm_w
+                      (area_name ao.Search.arm.Search.arm_area)
+                      o.Search.explored o.Search.levels
+                      o.Search.best.Search.cost ao.Search.yardstick
+                      (if o.Search.feasible then "" else " INFEASIBLE"))
+                  po.Search.arms;
+                let st = po.Search.stats in
+                pf
+                  "cross-arm table: %d hits, %d misses; speculation: %d \
+                   published, %d consumed\n"
+                  st.Search.table_hits st.Search.table_misses
+                  st.Search.spec_published st.Search.spec_hits;
+                let won = po.Search.arms.(po.Search.winner) in
+                pf "winner: arm %d (w=%.2f, %s)\n" po.Search.winner
+                  won.Search.arm.Search.arm_w
+                  (area_name won.Search.arm.Search.arm_area);
+                let best = won.Search.outcome.Search.best in
+                print_reductions best;
+                print_reduced best))
+end

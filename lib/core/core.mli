@@ -155,3 +155,47 @@ val sg_exn : ?budget:int -> Stg.t -> Sg.t
 (** Label by name, e.g. ["li-"], in the given STG.
     @raise Not_found when no transition carries it. *)
 val lab : Stg.t -> string -> Stg.label
+
+(** The bodies of the [astg check]/[synth]/[reduce] commands as pure
+    text renderers.  [bin/astg] prints these strings verbatim and the
+    synthesis service ([lib/serve]) returns them as response payloads,
+    which is what makes "serve output = CLI output" hold by construction
+    (and content-addressed caching of responses sound: the whole flow is
+    deterministic in the spec and the option record). *)
+module Cli : sig
+  type emit_backend = [ `Verilog | `Blif ]
+
+  type synth_opts = {
+    max_csc : int;  (** [--max-csc], default 6 *)
+    emit : emit_backend list;
+        (** [--emit], in order; order and repetition are semantic (each
+            entry appends one netlist rendering) *)
+  }
+
+  type reduce_opts = {
+    w : float;  (** [--w], default 0.8 *)
+    frontier : int;  (** [--frontier], default 4 *)
+    keeps : (string * string) list;  (** [--keep] pairs, by label name *)
+    print_stg : bool;  (** [--stg] *)
+    area_mode : Search.area_mode;  (** [--area-model], default [`Tree] *)
+    portfolio : float list;
+        (** [--portfolio] weights in arm order; [[]] = single search *)
+    speculate : bool;  (** negated [--no-speculate]; never changes bytes *)
+    jobs : int;  (** [--jobs]; never changes bytes *)
+  }
+
+  val default_synth : synth_opts
+  val default_reduce : reduce_opts
+
+  (** [astg check] output (SG failures render as ["consistent: no"],
+      matching the CLI's exit-0 behaviour). *)
+  val check_text : Stg.t -> string
+
+  (** [astg synth] output, or [Error msg] where the CLI would fail. *)
+  val synth_text : synth_opts -> Stg.t -> (string, string) result
+
+  (** [astg reduce] output (improvement stream, summaries, winner, and
+      with [print_stg] the realized STG), or [Error msg] where the CLI
+      would fail. *)
+  val reduce_text : reduce_opts -> Stg.t -> (string, string) result
+end

@@ -171,10 +171,86 @@ end
 let counters () = snapshot counter_registry
 let gauges () = snapshot gauge_registry
 
+(* ------------------------------------------------------------------ *)
+(* Latency reservoirs: a bounded ring of float samples (milliseconds)
+   guarded by a per-reservoir mutex — recording is a lock, a store and
+   an increment, cheap enough for per-request paths; percentiles sort a
+   snapshot copy on demand.  Like counters, samples are dropped while
+   recording is disabled. *)
+
+module Latency = struct
+  type t = {
+    l_name : string;
+    l_mu : Mutex.t;
+    l_ring : float array;
+    mutable l_next : int;  (* next write slot *)
+    mutable l_count : int;  (* total samples recorded since reset *)
+  }
+
+  type stats = { count : int; p50 : float; p99 : float; max : float }
+
+  let registry : t list Atomic.t = Atomic.make []
+
+  let make ?(cap = 4096) name =
+    let rec loop () =
+      let l = Atomic.get registry in
+      match List.find_opt (fun r -> String.equal r.l_name name) l with
+      | Some r -> r
+      | None ->
+          let r =
+            {
+              l_name = name;
+              l_mu = Mutex.create ();
+              l_ring = Array.make (max 1 cap) 0.0;
+              l_next = 0;
+              l_count = 0;
+            }
+          in
+          if Atomic.compare_and_set registry l (r :: l) then r else loop ()
+    in
+    loop ()
+
+  let name r = r.l_name
+
+  let record r ms =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock r.l_mu;
+      r.l_ring.(r.l_next) <- ms;
+      r.l_next <- (r.l_next + 1) mod Array.length r.l_ring;
+      r.l_count <- r.l_count + 1;
+      Mutex.unlock r.l_mu
+    end
+
+  let stats r =
+    Mutex.lock r.l_mu;
+    let n = min r.l_count (Array.length r.l_ring) in
+    let samples = Array.sub r.l_ring 0 n in
+    let count = r.l_count in
+    Mutex.unlock r.l_mu;
+    if n = 0 then { count; p50 = 0.0; p99 = 0.0; max = 0.0 }
+    else begin
+      Array.sort Float.compare samples;
+      let pct p =
+        samples.(min (n - 1) (int_of_float (Float.of_int (n - 1) *. p +. 0.5)))
+      in
+      { count; p50 = pct 0.5; p99 = pct 0.99; max = samples.(n - 1) }
+    end
+
+  let reset_all () =
+    List.iter
+      (fun r ->
+        Mutex.lock r.l_mu;
+        r.l_next <- 0;
+        r.l_count <- 0;
+        Mutex.unlock r.l_mu)
+      (Atomic.get registry)
+end
+
 let reset () =
   List.iter
     (fun c -> Atomic.set c.c_value 0)
     (Atomic.get counter_registry @ Atomic.get gauge_registry);
+  Latency.reset_all ();
   List.iter
     (fun b ->
       b.len <- 0;

@@ -73,6 +73,31 @@ module Gauge : sig
   val value : t -> int
 end
 
+module Latency : sig
+  (** A named bounded reservoir of latency samples (milliseconds): the
+      last [cap] samples in a ring guarded by a mutex, with percentile
+      snapshots sorted on demand.  Feeds the p50/p99 figures of the
+      [astg serve] metrics response.  Samples are dropped while
+      recording is disabled; {!reset} empties every reservoir. *)
+  type t
+
+  type stats = {
+    count : int;  (** samples recorded since the last reset, uncapped *)
+    p50 : float;
+    p99 : float;
+    max : float;  (** over the retained window only *)
+  }
+
+  (** [make ?cap name] — the reservoir registered under [name], created
+      on first use (idempotent per name; [cap] defaults to 4096 and is
+      fixed by the first call). *)
+  val make : ?cap:int -> string -> t
+
+  val name : t -> string
+  val record : t -> float -> unit
+  val stats : t -> stats
+end
+
 (** All registered counters as [(name, value)], sorted by name. *)
 val counters : unit -> (string * int) list
 

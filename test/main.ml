@@ -41,4 +41,5 @@ let () =
       ("delta", Test_delta.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]
